@@ -1,0 +1,67 @@
+"""Ablation A3: page-size (superpage) sensitivity.
+
+The paper's Section 3.3 reports that DP "is able to make good
+predictions across different TLB configurations and page sizes as
+well" (details in TR [19]); superpaging is also one of its Section 4
+future-work directions. This bench rescales the 4 KiB-page traces to 8,
+16 and 64 KiB pages and re-evaluates DP and RP on the high-miss apps.
+"""
+
+from repro.analysis.ascii_chart import format_table
+from repro.prefetch.factory import create_prefetcher
+from repro.sim.sweep import page_size_sweep
+from repro.workloads.registry import get_trace
+
+from conftest import BENCH_SCALE, write_result
+
+APPS = ("galgel", "adpcm-enc", "mcf", "ammp")
+PAGE_SIZES = (4096, 8192, 16384, 65536)
+
+
+def _run():
+    results = {}
+    for app in APPS:
+        trace = get_trace(app, BENCH_SCALE)
+        results[app] = {
+            "DP": page_size_sweep(
+                trace, lambda: create_prefetcher("DP", rows=256),
+                page_sizes=PAGE_SIZES,
+            ),
+            "RP": page_size_sweep(
+                trace, lambda: create_prefetcher("RP"), page_sizes=PAGE_SIZES
+            ),
+        }
+    return results
+
+
+def test_ablation_page_size_sensitivity(benchmark, context, results_dir):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = []
+    for app, by_mechanism in results.items():
+        for mechanism, by_size in by_mechanism.items():
+            for size, stats in by_size.items():
+                rows.append(
+                    [app, mechanism, f"{size // 1024}K",
+                     stats.prediction_accuracy, stats.miss_rate]
+                )
+    write_result(
+        results_dir,
+        "ablation_pagesize",
+        format_table(
+            ["App", "Mechanism", "Page", "Accuracy", "Miss rate"],
+            rows,
+            float_format="{:.4f}",
+        ),
+    )
+
+    for app, by_mechanism in results.items():
+        dp = by_mechanism["DP"]
+        # Bigger pages shrink the page-level footprint: fewer misses.
+        assert dp[65536].tlb_misses < dp[4096].tlb_misses, app
+    # DP's accuracy holds up across page sizes on the strided apps.
+    for app in ("galgel", "adpcm-enc"):
+        accuracies = [
+            s.prediction_accuracy for s in results[app]["DP"].values()
+        ]
+        assert min(accuracies) > 0.85, (app, accuracies)

@@ -1,0 +1,56 @@
+"""Regenerate Figure 8: MediaBench, Etch and Pointer-Intensive suites.
+
+Same bar set as Figure 7 over the 30 non-SPEC applications. The
+assertions track the paper's suite-specific observations: cold misses
+make ASP/DP shine on MediaBench; DP is the only scheme with noticeable
+predictions on gsm/jpeg/msvc/ks/bc; adpcm shows RP/ASP/DP good with MP
+very poor.
+"""
+
+from conftest import write_result
+
+
+def test_figure8_other_suites(benchmark, context, results_dir):
+    results = benchmark.pedantic(context.run_figure8, rounds=1, iterations=1)
+
+    write_result(
+        results_dir,
+        "figure8",
+        context.render_figure(
+            results, "Figure 8: MediaBench / Etch / PtrDist prediction accuracy"
+        ),
+    )
+
+    assert len(results) == 30
+
+    # adpcm: RP/ASP/DP good; MP very poor even at r=1024 (footprint).
+    adpcm = results["adpcm-enc"]
+    assert adpcm["RP"] > 0.8
+    assert adpcm["ASP,256"] > 0.9
+    assert adpcm["DP,256,D"] > 0.9
+    assert adpcm["MP,1024,D"] < 0.2
+
+    # First-touch media codecs: ASP/DP good, history near zero.
+    for app in ("epic", "unepic", "mipmap-mesa", "pgp-enc"):
+        acc = results[app]
+        assert acc["ASP,256"] > 0.5, (app, acc)
+        assert acc["DP,256,D"] > 0.5, (app, acc)
+        assert acc["RP"] < 0.1, (app, acc)
+
+    # DP-only group: noticeable (but sub-35%) DP, others near zero.
+    for app in ("gsm-enc", "gsm-dec", "jpeg-enc", "jpeg-dec", "msvc", "ks", "bc"):
+        acc = results[app]
+        assert 0.08 < acc["DP,256,D"] < 0.35, (app, acc)
+        assert acc["RP"] < 0.08, (app, acc)
+        assert acc["MP,1024,D"] < 0.08, (app, acc)
+        assert acc["ASP,1024"] < 0.08, (app, acc)
+
+    # Etch distance-class apps: DP far ahead.
+    for app in ("mpegply", "perl4"):
+        acc = results[app]
+        others = max(acc["RP"], acc["MP,1024,D"], acc["ASP,1024"])
+        assert acc["DP,256,D"] > others + 0.3, (app, acc)
+
+    # Low-miss apps: nobody predicts (and it doesn't matter).
+    for app in ("g721-enc", "g721-dec", "pgp-dec"):
+        assert max(results[app].values()) < 0.1, app

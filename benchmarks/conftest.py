@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the rendered output to ``benchmarks/results/<name>.txt`` so the
+EXPERIMENTS.md paper-vs-measured record can cite concrete runs.
+
+The workload scale defaults to 0.25 of the full traces (enough for
+stable accuracies; the shapes are scale-invariant) and can be raised
+with ``REPRO_BENCH_SCALE=1.0``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentContext
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Workload volume for the whole benchmark session.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """One experiment context per session: miss traces filter once."""
+    return ExperimentContext(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered experiment output and echo a short header."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}] written to {path}")
+    print(text)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Compare all prefetching mechanisms across reference-behaviour classes.
+
+The paper's Section 1 taxonomy predicts which mechanism wins for each
+kind of reference behaviour; this example runs one representative
+application model per class through every mechanism and prints the
+resulting accuracy matrix — the story of Figures 7 and 8 in one screen.
+
+Run:  python examples/compare_prefetchers.py
+"""
+
+from repro import create_prefetcher, evaluate, get_app, get_trace
+
+#: One representative app per behaviour class (see the registry for
+#: the full 56).
+REPRESENTATIVES = [
+    ("gzip", "(a) strided, one-touch"),
+    ("galgel", "(b) strided, repeated"),
+    ("ammp", "(d) irregular, repeating (pointer walk)"),
+    ("parser", "(d) irregular, repeating (alternation)"),
+    ("swim", "(d) irregular, repeating (stream interleave)"),
+    ("fma3d", "(e) no regularity"),
+]
+
+MECHANISMS = ["SP", "ASP", "MP", "RP", "DP"]
+
+
+def main() -> None:
+    print(f"{'application':<12} {'behaviour class':<42}"
+          + "".join(f"{m:>8}" for m in MECHANISMS))
+    print("-" * (12 + 42 + 8 * len(MECHANISMS) + 2))
+
+    for app, label in REPRESENTATIVES:
+        trace = get_trace(app, scale=0.2)
+        row = f"{app:<12} {label:<42}"
+        for mechanism in MECHANISMS:
+            stats = evaluate(trace, create_prefetcher(mechanism, rows=256))
+            row += f"{stats.prediction_accuracy:8.3f}"
+        print(row)
+
+    print(
+        "\nReading the matrix against the paper's claims:\n"
+        "  - one-touch strided data: only ASP and DP predict (no history to use)\n"
+        "  - repeated strided data: everything works, DP at minimal table cost\n"
+        "  - pointer walks: RP's in-memory history leads; DP trails but stays useful\n"
+        "  - alternation: MP's multiple slots beat RP's single neighbourhood\n"
+        "  - interleaved streams: DP alone sees the repeating distance cycle\n"
+        "  - noise: nobody predicts, as it should be\n"
+    )
+    for app, _ in REPRESENTATIVES[:1]:
+        spec = get_app(app)
+        print(f"Paper's note on {app}: {spec.paper_note}")
+
+
+if __name__ == "__main__":
+    main()

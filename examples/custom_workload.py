@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Model your own application and see which prefetcher suits it.
+
+Builds a synthetic workload from pattern primitives — here, a stencil
+kernel (three lock-step streams) interleaved with a pointer-chased
+symbol table and diluted with hot stack traffic — then evaluates every
+mechanism on it, the same way the built-in 56 models were designed.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import ReferenceTrace, create_prefetcher, evaluate, filter_tlb
+from repro.workloads.patterns import (
+    InterleavedStreams,
+    PermutationWalk,
+    RoundRobinMix,
+    WithHotTraffic,
+)
+
+
+def build_my_workload() -> ReferenceTrace:
+    """A stencil sweep plus a re-walked pointer structure."""
+    stencil = InterleavedStreams(
+        pc=0x1000,
+        streams=[(0, 1), (2_000_000, 1), (4_000_000, 1)],  # a[i], b[i], c[i]
+        length=4_000,
+        refs_per_page=2.0,
+        shared_pcs=True,
+    )
+    symbol_table = PermutationWalk(
+        pc=0x2000,
+        base=8_000_000,
+        count=150,
+        refs_per_page=1.5,
+        sweeps=40,
+    )
+    mix = RoundRobinMix([stencil, symbol_table], burst_runs=12)
+    workload = WithHotTraffic(
+        mix, hot_pc=0xF000, hot_base=9_000_000, hot_pages=24,
+        hot_refs_per_run=60.0,
+    )
+    rng = np.random.default_rng(2026)
+    pcs, pages, counts = workload.emit(rng)
+    return ReferenceTrace(pcs, pages, counts, name="my-stencil-app")
+
+
+def main() -> None:
+    trace = build_my_workload()
+    miss_trace = filter_tlb(trace)
+    print(f"Workload: {trace}")
+    print(f"Miss stream: {miss_trace}\n")
+
+    print(f"{'mechanism':<12} {'accuracy':>9} {'prefetches':>11} {'wasted':>8}")
+    print("-" * 44)
+    for mechanism in ("SP", "ASP", "MP", "RP", "DP", "DP-PC", "DP-2"):
+        stats = evaluate(trace, create_prefetcher(mechanism, rows=256))
+        print(
+            f"{stats.mechanism:<12} {stats.prediction_accuracy:9.3f} "
+            f"{stats.prefetches_issued:>11} {stats.buffer_waste_fraction:8.2%}"
+        )
+
+    print(
+        "\nThe stencil's interleaved page crossings defeat the PC-indexed "
+        "stride table\nbut form a three-distance cycle DP resolves; the "
+        "symbol-table walk is where\nRP earns its keep. A mixed app rewards "
+        "the mechanism that handles both."
+    )
+
+
+if __name__ == "__main__":
+    main()

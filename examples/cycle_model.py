@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Execution-cycle comparison: accuracy is not performance (Table 3).
+
+RP out-predicts DP on the five applications below, yet loses the
+execution-cycle comparison, because every RP miss spends up to six
+memory operations maintaining its LRU stack in the page table while DP
+only fetches its (two) predicted entries. This example reruns that
+experiment and separates the stall components so the mechanism of the
+upset is visible.
+
+Run:  python examples/cycle_model.py
+"""
+
+from repro import (
+    CycleSimConfig,
+    NullPrefetcher,
+    TABLE3_APPS,
+    create_prefetcher,
+    filter_tlb,
+    get_trace,
+    normalized_cycles,
+    simulate_cycles,
+)
+
+
+def main() -> None:
+    config = CycleSimConfig()
+    header = (
+        f"{'app':<8} {'mech':<6} {'norm.cycles':>11} {'accuracy':>9} "
+        f"{'demand-stall':>13} {'in-flight':>10} {'mem ops':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for app in TABLE3_APPS:
+        miss_trace = filter_tlb(get_trace(app, scale=0.4))
+        baseline = simulate_cycles(miss_trace, NullPrefetcher(), config)
+        for name in ("RP", "DP"):
+            stats = simulate_cycles(
+                miss_trace, create_prefetcher(name, rows=256), config
+            )
+            print(
+                f"{app:<8} {name:<6} {normalized_cycles(stats, baseline):>11.3f} "
+                f"{stats.prediction_accuracy:>9.3f} "
+                f"{stats.demand_stall_cycles:>13.0f} "
+                f"{stats.in_flight_stall_cycles:>10.0f} "
+                f"{stats.memory_ops:>9}"
+            )
+
+    print(
+        "\nHow to read this: in the timed run RP's prediction accuracy "
+        "collapses\n(prefetches are skipped whenever its pointer traffic "
+        "is still outstanding,\nper the paper's rule), and on mcf the "
+        "leftover in-flight waits push RP\nabove 1.0 — slower than no "
+        "prefetching — while DP keeps most of its\naccuracy at a third "
+        "of the memory operations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Prefetching across context switches (the paper's §4 open question).
+
+Two processes — a strided numeric kernel and a pointer-walking job —
+share one MMU under round-robin scheduling. The TLB and prefetch buffer
+flush on every switch; the policy question is what happens to the
+on-chip *prediction* tables. This example compares flushing, sharing
+(pollution), and per-process save/restore for DP, MP and RP.
+
+Run:  python examples/multiprogramming.py [quantum]
+"""
+
+import sys
+
+from repro import create_prefetcher, get_trace
+from repro.sim.multiprog import FLUSH_POLICIES, compare_policies
+
+
+def main() -> None:
+    quantum = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    traces = [get_trace("galgel", 0.1), get_trace("ammp", 0.1)]
+    print(
+        f"mix: {traces[0].name} + {traces[1].name}, "
+        f"quantum = {quantum} references\n"
+    )
+
+    header = f"{'mechanism':<10}" + "".join(f"{p:>14}" for p in FLUSH_POLICIES)
+    print(header)
+    print("-" * len(header))
+    for mechanism in ("DP", "MP", "RP"):
+        results = compare_policies(
+            traces,
+            lambda mechanism=mechanism: create_prefetcher(mechanism, rows=256),
+            quantum=quantum,
+        )
+        row = f"{mechanism:<10}"
+        for policy in FLUSH_POLICIES:
+            row += f"{results[policy].prediction_accuracy:14.3f}"
+        print(row)
+    switches = results["flush"].context_switches
+    print(
+        f"\n({switches} context switches observed.)\n"
+        "Reading the table: DP re-learns its few distance rows within a\n"
+        "handful of misses, so even 'flush' barely dents it; MP's per-page\n"
+        "history is the most switch-sensitive; RP is identical under flush\n"
+        "and shared because its state lives in each process's page table —\n"
+        "the structural advantage the paper's Section 4 hints at."
+    )
+
+
+if __name__ == "__main__":
+    main()

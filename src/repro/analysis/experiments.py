@@ -1,0 +1,293 @@
+"""The per-experiment orchestrator: one entry point per table/figure.
+
+:class:`ExperimentContext` owns the expensive intermediates — generated
+reference traces and filtered TLB miss streams — keyed by (app, scale,
+TLB shape), so a benchmark session touching many mechanism
+configurations filters each workload's TLB exactly once (the two-phase
+split described in DESIGN.md).
+
+Each ``run_*`` method regenerates one experiment of the paper:
+
+===============  ======================================================
+``run_table1``   hardware comparison of the mechanisms
+``run_figure``   prediction-accuracy bars for one suite (Fig. 7 / 8)
+``run_table2``   average + weighted-average accuracy over all 56 apps
+``run_table3``   normalized execution cycles, RP vs DP
+``run_figure9``  DP sensitivity panels on the 8 high-miss apps
+===============  ======================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.analysis import figures
+from repro.analysis.ascii_chart import format_table, grouped_bars
+from repro.analysis.metrics import (
+    accuracy_by_mechanism,
+    average_accuracy,
+    best_or_within_counts,
+    weighted_average_accuracy,
+)
+from repro.mem.trace import MissTrace
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.factory import create_prefetcher
+from repro.prefetch.null import NullPrefetcher
+from repro.sim.config import TLBConfig
+from repro.sim.cycle import CycleSimConfig, normalized_cycles, simulate_cycles
+from repro.sim.stats import PrefetchRunStats
+from repro.sim.two_phase import filter_tlb, replay_prefetcher
+from repro.workloads.registry import (
+    HIGH_MISS_APPS,
+    TABLE3_APPS,
+    all_app_names,
+    app_names_for_suite,
+    get_trace,
+)
+
+#: The four head-to-head mechanisms of Table 2, in the paper's order.
+TABLE2_MECHANISMS: tuple[str, ...] = ("DP", "RP", "ASP", "MP")
+
+
+class ExperimentContext:
+    """Caches traces and miss streams across experiment runs.
+
+    Args:
+        scale: workload volume multiplier (1.0 = the library's full
+            trace size; benchmarks default lower for runtime).
+        buffer_entries: prefetch buffer size ``b`` (paper default 16).
+    """
+
+    def __init__(self, scale: float = 1.0, buffer_entries: int = 16) -> None:
+        self.scale = scale
+        self.buffer_entries = buffer_entries
+        self._miss_traces: dict[tuple[str, int, int], MissTrace] = {}
+
+    def miss_trace(self, app: str, tlb: TLBConfig | None = None) -> MissTrace:
+        """Filtered miss stream for ``app`` under ``tlb`` (memoized)."""
+        tlb = tlb or TLBConfig()
+        key = (app, tlb.entries, tlb.ways)
+        cached = self._miss_traces.get(key)
+        if cached is None:
+            cached = filter_tlb(get_trace(app, self.scale), tlb)
+            self._miss_traces[key] = cached
+        return cached
+
+    def run_mechanism(
+        self,
+        app: str,
+        prefetcher: Prefetcher,
+        tlb: TLBConfig | None = None,
+        buffer_entries: int | None = None,
+    ) -> PrefetchRunStats:
+        """Evaluate one mechanism instance over one app's miss stream."""
+        return replay_prefetcher(
+            self.miss_trace(app, tlb),
+            prefetcher,
+            buffer_entries=buffer_entries or self.buffer_entries,
+        )
+
+    # ------------------------------------------------------------------
+    # Table 1
+    # ------------------------------------------------------------------
+
+    def run_table1(self) -> str:
+        """Regenerate Table 1: hardware comparison at a glance."""
+        mechanisms = [
+            create_prefetcher("ASP"),
+            create_prefetcher("MP"),
+            create_prefetcher("RP"),
+            create_prefetcher("DP"),
+        ]
+        descriptions = [m.describe_hardware() for m in mechanisms]
+        headers = [""] + [d.name for d in descriptions]
+        rows = [
+            ["How many rows?"] + [d.rows for d in descriptions],
+            ["Contents of a row"] + [d.row_contents for d in descriptions],
+            ["Where is the table?"] + [d.location for d in descriptions],
+            ["Indexed by"] + [d.index_source for d in descriptions],
+            ["Memory ops per miss"] + [str(d.memory_ops_per_miss) for d in descriptions],
+            ["Prefetches per miss"] + [d.max_prefetches for d in descriptions],
+        ]
+        return format_table(headers, rows)
+
+    # ------------------------------------------------------------------
+    # Figures 7 and 8
+    # ------------------------------------------------------------------
+
+    def run_figure(
+        self,
+        apps: Sequence[str],
+        configs: Sequence[figures.MechanismConfig] | None = None,
+    ) -> dict[str, dict[str, float]]:
+        """Prediction accuracy for every (app, mechanism config) bar.
+
+        Returns ``app -> legend label -> accuracy`` in figure order.
+        """
+        configs = list(configs) if configs is not None else figures.figure7_configs()
+        results: dict[str, dict[str, float]] = {}
+        for app in apps:
+            per_app: dict[str, float] = {}
+            for config in configs:
+                prefetcher = create_prefetcher(
+                    config.mechanism, **config.factory_params()
+                )
+                stats = self.run_mechanism(app, prefetcher)
+                per_app[config.label] = stats.prediction_accuracy
+            results[app] = per_app
+        return results
+
+    def run_figure7(self) -> dict[str, dict[str, float]]:
+        """Figure 7: all SPEC CPU2000 applications."""
+        return self.run_figure(app_names_for_suite("spec2000"))
+
+    def run_figure8(self) -> dict[str, dict[str, float]]:
+        """Figure 8: MediaBench, Etch and Pointer-Intensive suites."""
+        apps = (
+            app_names_for_suite("mediabench")
+            + app_names_for_suite("etch")
+            + app_names_for_suite("ptrdist")
+        )
+        return self.run_figure(apps)
+
+    def render_figure(
+        self, results: dict[str, dict[str, float]], title: str
+    ) -> str:
+        """Render figure results as grouped ASCII bars."""
+        return grouped_bars(results, title=title)
+
+    # ------------------------------------------------------------------
+    # Table 2
+    # ------------------------------------------------------------------
+
+    def run_table2(
+        self, apps: Iterable[str] | None = None, rows: int = 256, slots: int = 2
+    ) -> dict[str, dict[str, float]]:
+        """Average and weighted-average accuracy per mechanism.
+
+        Returns ``mechanism -> {"average": .., "weighted": ..}`` plus
+        the per-mechanism best-or-within counts under ``"best"`` /
+        ``"within10"``.
+        """
+        app_list = list(apps) if apps is not None else all_app_names()
+        runs_by_mechanism: dict[str, list[PrefetchRunStats]] = {}
+        for app in app_list:
+            for mechanism in TABLE2_MECHANISMS:
+                prefetcher = create_prefetcher(mechanism, rows=rows, ways=1, slots=slots)
+                stats = self.run_mechanism(app, prefetcher)
+                # Normalize the label so per-app pivots group correctly.
+                runs_by_mechanism.setdefault(mechanism, []).append(stats)
+
+        summary: dict[str, dict[str, float]] = {}
+        all_runs = [run for runs in runs_by_mechanism.values() for run in runs]
+        pivot_raw = accuracy_by_mechanism(all_runs)
+        # Map configured labels (e.g. "DP,256,D") back to mechanism names.
+        pivot: dict[str, dict[str, float]] = {}
+        for app, per_label in pivot_raw.items():
+            pivot[app] = {}
+            for label, acc in per_label.items():
+                pivot[app][label.split(",")[0]] = acc
+        for mechanism, runs in runs_by_mechanism.items():
+            best, within = best_or_within_counts(pivot, mechanism)
+            summary[mechanism] = {
+                "average": average_accuracy(runs),
+                "weighted": weighted_average_accuracy(runs),
+                "best": float(best),
+                "within10": float(within),
+            }
+        return summary
+
+    def render_table2(self, summary: dict[str, dict[str, float]]) -> str:
+        headers = ["Scheme", "Average (Σp_i)/n", "Weighted Σ(m_i·p_i)/Σm_i", "Best", "Best/within 10%"]
+        rows = [
+            [
+                mechanism,
+                summary[mechanism]["average"],
+                summary[mechanism]["weighted"],
+                int(summary[mechanism]["best"]),
+                int(summary[mechanism]["within10"]),
+            ]
+            for mechanism in TABLE2_MECHANISMS
+            if mechanism in summary
+        ]
+        return format_table(headers, rows, float_format="{:.2f}")
+
+    # ------------------------------------------------------------------
+    # Table 3
+    # ------------------------------------------------------------------
+
+    def run_table3(
+        self, apps: Sequence[str] | None = None, rows: int = 256
+    ) -> dict[str, dict[str, float]]:
+        """Normalized execution cycles (vs no prefetching) for RP and DP."""
+        app_list = list(apps) if apps is not None else list(TABLE3_APPS)
+        config = CycleSimConfig(buffer_entries=self.buffer_entries)
+        results: dict[str, dict[str, float]] = {}
+        for app in app_list:
+            miss_trace = self.miss_trace(app)
+            baseline = simulate_cycles(miss_trace, NullPrefetcher(), config)
+            rp = simulate_cycles(miss_trace, create_prefetcher("RP"), config)
+            dp = simulate_cycles(
+                miss_trace, create_prefetcher("DP", rows=rows), config
+            )
+            results[app] = {
+                "RP": normalized_cycles(rp, baseline),
+                "DP": normalized_cycles(dp, baseline),
+            }
+        return results
+
+    def render_table3(self, results: dict[str, dict[str, float]]) -> str:
+        headers = ["App", "RP", "DP"]
+        rows = [[app, values["RP"], values["DP"]] for app, values in results.items()]
+        return format_table(headers, rows)
+
+    # ------------------------------------------------------------------
+    # Figure 9
+    # ------------------------------------------------------------------
+
+    def run_figure9_tables(self) -> dict[str, dict[str, float]]:
+        """Panel (a): DP accuracy vs table size and associativity."""
+        return self.run_figure(HIGH_MISS_APPS, figures.figure9_table_configs())
+
+    def run_figure9_slots(self) -> dict[str, dict[str, float]]:
+        """Panel (b): DP accuracy vs prediction slots ``s``."""
+        results: dict[str, dict[str, float]] = {}
+        for app in HIGH_MISS_APPS:
+            per_app: dict[str, float] = {}
+            for slots in figures.FIGURE9_SLOTS:
+                stats = self.run_mechanism(
+                    app, create_prefetcher("DP", rows=256, slots=slots)
+                )
+                per_app[f"s = {slots}"] = stats.prediction_accuracy
+            results[app] = per_app
+        return results
+
+    def run_figure9_buffers(self) -> dict[str, dict[str, float]]:
+        """Panel (c): DP accuracy vs prefetch buffer size ``b``."""
+        results: dict[str, dict[str, float]] = {}
+        for app in HIGH_MISS_APPS:
+            per_app: dict[str, float] = {}
+            for buffer_entries in figures.FIGURE9_BUFFERS:
+                stats = self.run_mechanism(
+                    app,
+                    create_prefetcher("DP", rows=256),
+                    buffer_entries=buffer_entries,
+                )
+                per_app[f"b = {buffer_entries}"] = stats.prediction_accuracy
+            results[app] = per_app
+        return results
+
+    def run_figure9_tlbs(self) -> dict[str, dict[str, float]]:
+        """Panel (d): DP accuracy vs TLB size (fully associative)."""
+        results: dict[str, dict[str, float]] = {}
+        for app in HIGH_MISS_APPS:
+            per_app: dict[str, float] = {}
+            for entries in figures.FIGURE9_TLBS:
+                stats = self.run_mechanism(
+                    app,
+                    create_prefetcher("DP", rows=256),
+                    tlb=TLBConfig(entries=entries),
+                )
+                per_app[f"{entries}-entry TLB"] = stats.prediction_accuracy
+            results[app] = per_app
+        return results

@@ -1,0 +1,89 @@
+"""Mechanism-configuration sweeps behind the paper's Figures 7, 8 and 9.
+
+Figure 7/8 compare RP against MP/DP/ASP across prediction-table sizes
+``r`` (32..1024) and associativities; the exact bar sets below follow
+the paper's legends (MP is shown at several associativities, DP and ASP
+direct-mapped only, because — as both the paper and our Figure 9 sweep
+find — table associativity barely moves the answer).
+
+Figure 9 sweeps DP's own parameters on the eight highest-miss-rate
+applications: table configuration (r × associativity), slots ``s``,
+prefetch-buffer size ``b``, and TLB size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Associativity label -> PredictionTable ``ways`` value.
+ASSOC_WAYS: dict[str, int] = {"D": 1, "2": 2, "4": 4, "F": 0}
+
+
+@dataclass(frozen=True)
+class MechanismConfig:
+    """One bar of a figure: a mechanism at a specific configuration."""
+
+    mechanism: str
+    rows: int = 256
+    assoc: str = "D"
+    slots: int = 2
+
+    @property
+    def label(self) -> str:
+        """The paper's legend label, e.g. ``MP,1024,4`` or ``RP``."""
+        if self.mechanism == "RP":
+            return "RP"
+        if self.mechanism == "ASP":
+            return f"ASP,{self.rows}"
+        return f"{self.mechanism},{self.rows},{self.assoc}"
+
+    def factory_params(self) -> dict[str, int]:
+        """Keyword arguments for :func:`repro.prefetch.create_prefetcher`."""
+        return {
+            "rows": self.rows,
+            "ways": ASSOC_WAYS[self.assoc],
+            "slots": self.slots,
+        }
+
+
+def figure7_configs() -> list[MechanismConfig]:
+    """The bar set of Figures 7 and 8, in the paper's legend order.
+
+    RP; MP at r=1024 (D/4/2), 512 (D/4), 256 (D/4/F); DP direct-mapped
+    at r=1024..32; ASP at r=1024..32.
+    """
+    configs: list[MechanismConfig] = [MechanismConfig("RP")]
+    configs += [
+        MechanismConfig("MP", 1024, "D"),
+        MechanismConfig("MP", 1024, "4"),
+        MechanismConfig("MP", 1024, "2"),
+        MechanismConfig("MP", 512, "D"),
+        MechanismConfig("MP", 512, "4"),
+        MechanismConfig("MP", 256, "D"),
+        MechanismConfig("MP", 256, "4"),
+        MechanismConfig("MP", 256, "F"),
+    ]
+    configs += [MechanismConfig("DP", rows, "D") for rows in (1024, 512, 256, 128, 64, 32)]
+    configs += [MechanismConfig("ASP", rows, "D") for rows in (1024, 512, 256, 128, 64, 32)]
+    return configs
+
+
+def figure9_table_configs() -> list[MechanismConfig]:
+    """Figure 9 panel (a): DP table size × associativity."""
+    legend = [
+        (1024, "D"), (1024, "4"), (1024, "2"),
+        (512, "D"), (512, "4"),
+        (256, "D"), (256, "4"), (256, "F"),
+        (128, "D"), (128, "F"),
+        (64, "D"), (64, "F"),
+        (32, "D"), (32, "F"),
+    ]
+    return [MechanismConfig("DP", rows, assoc) for rows, assoc in legend]
+
+
+#: Figure 9 panel (b): prediction slots per row.
+FIGURE9_SLOTS: tuple[int, ...] = (2, 4, 6)
+#: Figure 9 panel (c): prefetch buffer entries.
+FIGURE9_BUFFERS: tuple[int, ...] = (16, 32, 64)
+#: Figure 9 panel (d): TLB entries (fully associative).
+FIGURE9_TLBS: tuple[int, ...] = (64, 128, 256)

@@ -1,0 +1,255 @@
+"""Command-line interface: regenerate any experiment from a shell.
+
+Examples::
+
+    repro-tlb list-apps
+    repro-tlb run --app galgel --mechanism DP --rows 256 --scale 0.25
+    repro-tlb table1
+    repro-tlb table2 --scale 0.5
+    repro-tlb table3 --scale 0.5
+    repro-tlb figure7 --scale 0.25
+    repro-tlb figure8 --scale 0.25
+    repro-tlb figure9 --scale 0.25 --panel tables
+    repro-tlb validate --scale 0.2
+    repro-tlb report --out report.md --scale 0.25
+    repro-tlb export-trace --app swim --out swim.npz --scale 0.25
+    repro-tlb run --trace-file swim.npz --mechanism DP
+
+(Equivalently ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.experiments import ExperimentContext
+from repro.analysis.tables import compare_table2, compare_table3
+from repro.mem.trace_io import load_reference_trace, save_reference_trace
+from repro.prefetch.factory import PREFETCHER_NAMES, create_prefetcher
+from repro.sim.two_phase import evaluate
+from repro.workloads.registry import SUITES, all_app_names, get_app, get_trace
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="workload volume multiplier (1.0 = full traces; default 0.25)",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tlb",
+        description=(
+            "Reproduction harness for 'Going the Distance for TLB "
+            "Prefetching' (ISCA 2002)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list the 56 application models")
+
+    run = sub.add_parser("run", help="run one mechanism on one application")
+    source = run.add_mutually_exclusive_group(required=True)
+    source.add_argument("--app", help="application name (see list-apps)")
+    source.add_argument(
+        "--trace-file", help="path to a .npz reference trace (see export-trace)"
+    )
+    run.add_argument(
+        "--mechanism", default="DP", choices=sorted(PREFETCHER_NAMES),
+        help="prefetch mechanism",
+    )
+    run.add_argument("--rows", type=int, default=256, help="prediction table rows r")
+    run.add_argument("--slots", type=int, default=2, help="prediction slots s")
+    run.add_argument("--buffer", type=int, default=16, help="prefetch buffer entries b")
+    _add_scale(run)
+
+    export = sub.add_parser(
+        "export-trace", help="write an application's reference trace to .npz"
+    )
+    export.add_argument("--app", required=True, help="application name")
+    export.add_argument("--out", required=True, help="output path (.npz)")
+    _add_scale(export)
+
+    validate = sub.add_parser(
+        "validate", help="check every app model against its paper claims"
+    )
+    validate.add_argument("--app", action="append", dest="apps",
+                          help="validate only this app (repeatable)")
+    _add_scale(validate)
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write a Markdown report"
+    )
+    report.add_argument("--out", required=True, help="output path (.md)")
+    report.add_argument(
+        "--no-figures", action="store_true",
+        help="tables only (much faster)",
+    )
+    _add_scale(report)
+
+    characterize = sub.add_parser(
+        "characterize",
+        help="miss rates across the TLB grid (the [18] companion table)",
+    )
+    characterize.add_argument(
+        "--app", action="append", dest="apps",
+        help="characterize only this app (repeatable; default: all 56)",
+    )
+    _add_scale(characterize)
+
+    sub.add_parser("table1", help="regenerate Table 1 (hardware comparison)")
+
+    table2 = sub.add_parser("table2", help="regenerate Table 2 (accuracy averages)")
+    _add_scale(table2)
+
+    table3 = sub.add_parser("table3", help="regenerate Table 3 (normalized cycles)")
+    _add_scale(table3)
+
+    for figure, description in (
+        ("figure7", "prediction accuracy, SPEC CPU2000"),
+        ("figure8", "prediction accuracy, MediaBench/Etch/PtrDist"),
+    ):
+        fig = sub.add_parser(figure, help=f"regenerate {figure} ({description})")
+        _add_scale(fig)
+
+    figure9 = sub.add_parser("figure9", help="regenerate Figure 9 (DP sensitivity)")
+    figure9.add_argument(
+        "--panel",
+        choices=("tables", "slots", "buffers", "tlbs", "all"),
+        default="all",
+        help="which sensitivity panel to run",
+    )
+    _add_scale(figure9)
+
+    return parser
+
+
+def _cmd_list_apps() -> int:
+    for suite, specs in SUITES.items():
+        print(f"{suite} ({len(specs)} applications):")
+        for spec in specs:
+            tags = f"  [{','.join(sorted(spec.tags))}]" if spec.tags else ""
+            print(f"  {spec.name:<14} {spec.behavior.value}{tags}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    prefetcher = create_prefetcher(args.mechanism, rows=args.rows, slots=args.slots)
+    if args.trace_file:
+        from repro.sim.config import SimulationConfig
+
+        trace = load_reference_trace(args.trace_file)
+        stats = evaluate(
+            trace, prefetcher, SimulationConfig(buffer_entries=args.buffer)
+        )
+    else:
+        get_app(args.app)  # validate name early with a helpful error
+        context = ExperimentContext(scale=args.scale, buffer_entries=args.buffer)
+        stats = context.run_mechanism(args.app, prefetcher)
+    print(stats.one_line())
+    print(
+        f"  misses={stats.tlb_misses} pb_hits={stats.pb_hits} "
+        f"inserted={stats.buffer_inserted} evicted_unused={stats.buffer_evicted_unused} "
+        f"overhead_ops={stats.overhead_memory_ops}"
+    )
+    return 0
+
+
+def _cmd_export_trace(args: argparse.Namespace) -> int:
+    get_app(args.app)
+    trace = get_trace(args.app, args.scale)
+    path = save_reference_trace(trace, args.out)
+    print(f"wrote {trace} to {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.workloads.validation import render_report, validate_all
+
+    context = ExperimentContext(scale=args.scale)
+    results = validate_all(context, apps=args.apps)
+    print(render_report(results))
+    return 0 if all(result.passed for result in results) else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    text = generate_report(scale=args.scale, include_figures=not args.no_figures)
+    with open(args.out, "w") as handle:
+        handle.write(text)
+    print(f"report written to {args.out}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.analysis.characterization import (
+        associativity_anomalies,
+        miss_rate_table,
+        render_miss_rates,
+    )
+
+    apps = args.apps if args.apps else all_app_names()
+    table = miss_rate_table(apps, scale=args.scale)
+    print(render_miss_rates(table))
+    anomalies = associativity_anomalies(table)
+    if anomalies:
+        print("\nassociativity anomalies (legitimate LRU behaviour):")
+        for anomaly in anomalies:
+            print(f"  {anomaly}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list-apps":
+        return _cmd_list_apps()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "export-trace":
+        return _cmd_export_trace(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    if args.command == "table1":
+        print(ExperimentContext(scale=0.05).run_table1())
+        return 0
+
+    context = ExperimentContext(scale=args.scale)
+    if args.command == "table2":
+        print(compare_table2(context.run_table2()))
+    elif args.command == "table3":
+        print(compare_table3(context.run_table3()))
+    elif args.command == "figure7":
+        print(context.render_figure(context.run_figure7(), "Figure 7: SPEC CPU2000"))
+    elif args.command == "figure8":
+        print(
+            context.render_figure(
+                context.run_figure8(), "Figure 8: MediaBench / Etch / PtrDist"
+            )
+        )
+    elif args.command == "figure9":
+        panels = {
+            "tables": ("Figure 9a: DP table size x associativity", context.run_figure9_tables),
+            "slots": ("Figure 9b: DP prediction slots", context.run_figure9_slots),
+            "buffers": ("Figure 9c: prefetch buffer size", context.run_figure9_buffers),
+            "tlbs": ("Figure 9d: TLB size", context.run_figure9_tlbs),
+        }
+        selected = panels if args.panel == "all" else {args.panel: panels[args.panel]}
+        for title, runner in selected.values():
+            print(context.render_figure(runner(), title))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Distance Prefetching (DP) — the paper's contribution (Section 2.5).
+
+DP keeps track of *differences between successive missed addresses*
+("distances"), not the addresses themselves. The prediction table is
+indexed by the current distance; each row's ``s`` slots hold the
+distances that followed this distance on earlier misses. On a miss:
+
+1. Compute the current distance = missed page − previously missed page.
+2. Index the table by that distance; on a tag hit, prefetch
+   ``missed page + d`` for each predicted distance ``d`` in the slots.
+3. Record the current distance in a slot of the *previous* distance's
+   row (LRU within the slots), so the change between strides itself
+   becomes the learned pattern.
+4. The current distance becomes the previous distance.
+
+Why this wins (the paper's Section 1 taxonomy): a pure sequential scan
+collapses to one row ("1 follows 1"); a repeating stride cycle such as
+the reference string 1, 2, 4, 5, 7, 8 collapses to two rows ("1 follows
+2", "2 follows 1") where MP would need a row per page; and when strides
+are irregular but their *changes* repeat, the history of distances still
+predicts — giving DP stride-class space costs with history-class
+coverage.
+"""
+
+from __future__ import annotations
+
+from repro.core.prediction_table import PredictionTable, SlotList
+from repro.prefetch.base import HardwareDescription, Prefetcher
+
+
+class DistancePrefetcher(Prefetcher):
+    """Distance-indexed prediction over the TLB miss stream.
+
+    Args:
+        rows: prediction-table rows ``r`` (a direct-mapped 32–256-entry
+            table suffices per the paper's sensitivity study).
+        ways: associativity (1 = direct mapped — the paper's default —
+            2/4-way, or 0 = fully associative).
+        slots: predicted distances ``s`` per row (2 by default).
+    """
+
+    name = "DP"
+
+    def __init__(self, rows: int = 256, ways: int = 1, slots: int = 2) -> None:
+        super().__init__()
+        self.table: PredictionTable[SlotList] = PredictionTable(rows, ways)
+        self.slots = slots
+        self._prev_page: int | None = None
+        self._prev_distance: int | None = None
+
+    def _new_row(self) -> SlotList:
+        return SlotList(self.slots)
+
+    def on_miss(self, pc: int, page: int, evicted: int, pb_hit: bool) -> list[int]:
+        prev_page = self._prev_page
+        self._prev_page = page
+        if prev_page is None:
+            return self.account([])
+
+        distance = page - prev_page
+        entry, allocated = self.table.lookup_or_insert(distance, self._new_row)
+        prefetches: list[int] = []
+        if not allocated:
+            for predicted in entry.values():
+                target = page + predicted
+                if target >= 0:
+                    prefetches.append(target)
+
+        prev_distance = self._prev_distance
+        if prev_distance is not None:
+            prev_entry, _ = self.table.lookup_or_insert(prev_distance, self._new_row)
+            prev_entry.add(distance)
+        self._prev_distance = distance
+        return self.account(prefetches)
+
+    def flush(self) -> None:
+        self.table.flush()
+        self._prev_page = None
+        self._prev_distance = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.name},{self.table.rows},{self.table.assoc_label}"
+
+    def describe_hardware(self) -> HardwareDescription:
+        return HardwareDescription(
+            name=self.name,
+            rows="r",
+            row_contents=f"Distance Tag, {self.slots} Prediction Distances",
+            location="On-Chip",
+            index_source="Distance",
+            memory_ops_per_miss=0,
+            max_prefetches=str(self.slots),
+        )

@@ -1,0 +1,103 @@
+"""Extension: Distance Prefetching indexed by the last *two* distances.
+
+The second of the paper's Section 4 "ongoing work" directions ("using
+... several previous distances"). Keying on the pair (previous distance,
+current distance) gives second-order history: stride cycles that look
+ambiguous to first-order DP — e.g. the distance string 1,2,1,3,1,2,1,3
+where "after 1" is sometimes 2 and sometimes 3 — become deterministic
+when the predecessor distance is part of the key. The cost is slower
+warm-up (each pair must be seen once) and more distinct keys competing
+for the same number of rows.
+"""
+
+from __future__ import annotations
+
+from repro.core.prediction_table import PredictionTable, SlotList
+from repro.prefetch.base import HardwareDescription, Prefetcher
+
+#: Width of each two's-complement distance field inside the packed key.
+_DISTANCE_BITS = 24
+_DISTANCE_MASK = (1 << _DISTANCE_BITS) - 1
+#: Odd multiplier folding the first distance into the low (set-index)
+#: bits; injective because the first distance also occupies the high
+#: bits, so the XOR can be undone.
+_FOLD = 0x9E37
+
+
+def pack_distance_pair(first: int, second: int) -> int:
+    """Combine two signed distances into one injective table key."""
+    return ((first & _DISTANCE_MASK) << _DISTANCE_BITS) | (
+        (second ^ (first * _FOLD)) & _DISTANCE_MASK
+    )
+
+
+class DistancePairPrefetcher(Prefetcher):
+    """DP variant keyed by the two most recent distances.
+
+    Args:
+        rows: prediction-table rows.
+        ways: associativity (1 = direct mapped, 0 = fully associative).
+        slots: predicted distances per row.
+    """
+
+    name = "DP-2"
+
+    def __init__(self, rows: int = 256, ways: int = 1, slots: int = 2) -> None:
+        super().__init__()
+        self.table: PredictionTable[SlotList] = PredictionTable(rows, ways)
+        self.slots = slots
+        self._prev_page: int | None = None
+        self._prev_distance: int | None = None
+        self._prev_key: int | None = None
+
+    def _new_row(self) -> SlotList:
+        return SlotList(self.slots)
+
+    def on_miss(self, pc: int, page: int, evicted: int, pb_hit: bool) -> list[int]:
+        prev_page = self._prev_page
+        self._prev_page = page
+        if prev_page is None:
+            return self.account([])
+
+        distance = page - prev_page
+        prev_distance = self._prev_distance
+        self._prev_distance = distance
+        if prev_distance is None:
+            return self.account([])
+
+        key = pack_distance_pair(prev_distance, distance)
+        entry, allocated = self.table.lookup_or_insert(key, self._new_row)
+        prefetches: list[int] = []
+        if not allocated:
+            for predicted in entry.values():
+                target = page + predicted
+                if target >= 0:
+                    prefetches.append(target)
+
+        prev_key = self._prev_key
+        if prev_key is not None:
+            prev_entry, _ = self.table.lookup_or_insert(prev_key, self._new_row)
+            prev_entry.add(distance)
+        self._prev_key = key
+        return self.account(prefetches)
+
+    def flush(self) -> None:
+        self.table.flush()
+        self._prev_page = None
+        self._prev_distance = None
+        self._prev_key = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.name},{self.table.rows},{self.table.assoc_label}"
+
+    def describe_hardware(self) -> HardwareDescription:
+        return HardwareDescription(
+            name=self.name,
+            rows="r",
+            row_contents=f"Distance-pair Tag, {self.slots} Prediction Distances",
+            location="On-Chip",
+            index_source="2 consecutive Distances",
+            memory_ops_per_miss=0,
+            max_prefetches=str(self.slots),
+        )

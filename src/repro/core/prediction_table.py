@@ -1,0 +1,194 @@
+"""The generic on-chip prediction table of the paper's Section 2.
+
+ASP, MP and DP all keep their state in a table with ``r`` rows, an
+associativity (direct-mapped, 2-way, 4-way or fully associative — the
+paper's D/2/4/F labels), a tag per row for lookup, and — for MP and DP —
+``s`` prediction slots per row kept in LRU order.
+
+The table is generic over the row payload:
+
+- MP rows hold a :class:`SlotList` of predicted *pages*.
+- DP rows hold a :class:`SlotList` of predicted *distances*.
+- ASP rows hold a ``(previous page, stride, state)`` tuple (one slot, by
+  definition of the mechanism).
+
+Keys may be negative (DP indexes by distance, which is signed); the
+row-index hash uses Python's non-negative ``%`` so any integer key maps
+to a valid set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Iterator
+from typing import Generic, TypeVar
+
+from repro.errors import ConfigurationError
+
+#: Associativity value selecting one row per set.
+DIRECT_MAPPED = 1
+#: Associativity value selecting a single set spanning all rows.
+FULLY_ASSOCIATIVE_TABLE = 0
+
+PayloadT = TypeVar("PayloadT")
+
+
+class SlotList:
+    """Up to ``s`` prediction values in LRU order (MRU first).
+
+    MP keeps the next pages seen after a page; DP keeps the next
+    distances seen after a distance. Adding a value already present
+    refreshes its recency; adding to a full list evicts the LRU value
+    (the paper: "If all the slots are occupied, then we evict one based
+    on LRU policy").
+    """
+
+    __slots__ = ("_slots", "capacity")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"slot capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self._slots: list[int] = []
+
+    def add(self, value: int) -> int | None:
+        """Record ``value`` as the most recent successor; return eviction."""
+        slots = self._slots
+        try:
+            slots.remove(value)
+        except ValueError:
+            pass
+        slots.insert(0, value)
+        if len(slots) > self.capacity:
+            return slots.pop()
+        return None
+
+    def values(self) -> list[int]:
+        """Current predictions, most recently confirmed first."""
+        return list(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, value: int) -> bool:
+        return value in self._slots
+
+    def __repr__(self) -> str:
+        return f"SlotList({self._slots}, capacity={self.capacity})"
+
+
+class PredictionTable(Generic[PayloadT]):
+    """Set-associative, tagged prediction table with LRU row replacement.
+
+    Args:
+        rows: total rows ``r`` (the paper sweeps 32..1024).
+        ways: row associativity; :data:`DIRECT_MAPPED` (1) by default,
+            :data:`FULLY_ASSOCIATIVE_TABLE` (0) for one set of ``r`` ways.
+
+    Each set maps ``key -> payload`` in an :class:`OrderedDict` whose
+    order is the set's LRU order. The *full key* serves as the tag: a
+    lookup only matches the exact key, as tag comparison would ensure in
+    hardware.
+    """
+
+    def __init__(self, rows: int, ways: int = DIRECT_MAPPED) -> None:
+        if rows <= 0:
+            raise ConfigurationError(f"rows must be > 0, got {rows}")
+        if ways < 0:
+            raise ConfigurationError(f"ways must be >= 0, got {ways}")
+        if ways == FULLY_ASSOCIATIVE_TABLE:
+            ways = rows
+        if rows % ways:
+            raise ConfigurationError(f"rows ({rows}) must be a multiple of ways ({ways})")
+        self.rows = rows
+        self.ways = ways
+        self.num_sets = rows // ways
+        self._sets: list[OrderedDict[int, PayloadT]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.lookups = 0
+        self.tag_hits = 0
+        self.row_evictions = 0
+
+    @property
+    def assoc_label(self) -> str:
+        """The paper's associativity label: ``D``, ``2``, ``4`` or ``F``."""
+        if self.ways == 1:
+            return "D"
+        if self.ways == self.rows:
+            return "F"
+        return str(self.ways)
+
+    @property
+    def label(self) -> str:
+        """Configuration label matching the paper's legends, e.g. ``256,D``."""
+        return f"{self.rows},{self.assoc_label}"
+
+    def set_index(self, key: int) -> int:
+        """Set a key maps to (non-negative even for negative keys)."""
+        return key % self.num_sets
+
+    def lookup(self, key: int) -> PayloadT | None:
+        """Return the payload tagged ``key``, promoting it to MRU."""
+        self.lookups += 1
+        table_set = self._sets[key % self.num_sets]
+        payload = table_set.get(key)
+        if payload is not None:
+            table_set.move_to_end(key)
+            self.tag_hits += 1
+        return payload
+
+    def peek(self, key: int) -> PayloadT | None:
+        """Like :meth:`lookup` but without LRU promotion or stats."""
+        return self._sets[key % self.num_sets].get(key)
+
+    def insert(self, key: int, payload: PayloadT) -> int | None:
+        """Install ``payload`` under ``key``; return any evicted key.
+
+        Inserting an existing key replaces its payload and promotes it.
+        """
+        table_set = self._sets[key % self.num_sets]
+        evicted = None
+        if key in table_set:
+            table_set.move_to_end(key)
+        elif len(table_set) >= self.ways:
+            evicted, _ = table_set.popitem(last=False)
+            self.row_evictions += 1
+        table_set[key] = payload
+        return evicted
+
+    def lookup_or_insert(
+        self, key: int, factory: Callable[[], PayloadT]
+    ) -> tuple[PayloadT, bool]:
+        """Fetch the row for ``key``, allocating via ``factory`` if absent.
+
+        Returns ``(payload, allocated)`` where ``allocated`` is True when
+        a new row was created (possibly evicting an LRU row).
+        """
+        payload = self.lookup(key)
+        if payload is not None:
+            return payload, False
+        payload = factory()
+        self.insert(key, payload)
+        return payload, True
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._sets[key % self.num_sets]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def items(self) -> Iterator[tuple[int, PayloadT]]:
+        """All ``(key, payload)`` pairs (set order; LRU first per set)."""
+        for table_set in self._sets:
+            yield from table_set.items()
+
+    def flush(self) -> int:
+        """Drop every row (context switch); returns rows dropped."""
+        dropped = len(self)
+        for table_set in self._sets:
+            table_set.clear()
+        return dropped
+
+    def __repr__(self) -> str:
+        return f"PredictionTable({self.label}, occupied={len(self)}/{self.rows})"

@@ -1,0 +1,12 @@
+"""CPU-side timing substrate for the execution-cycle experiments.
+
+- :mod:`repro.cpu.costs` — the timing parameters of the paper's
+  sim-outorder experiment (Section 3.2, Table 3).
+- :mod:`repro.cpu.timing` — the in-order core abstraction that spaces
+  TLB misses in time and accumulates stalls.
+"""
+
+from repro.cpu.costs import TimingParameters
+from repro.cpu.timing import CoreTimeline
+
+__all__ = ["CoreTimeline", "TimingParameters"]

@@ -1,0 +1,52 @@
+"""A minimal core timeline: base progress plus accumulated stalls.
+
+The cycle experiment does not need a full out-of-order core model —
+normalized cycles depend only on (a) how far apart misses are in base
+cycles and (b) how long each miss stalls the CPU. ``CoreTimeline``
+tracks exactly that: ``now = ref_index * cycles_per_reference +
+total_stall``, with :meth:`stall` accumulating miss and in-flight
+delays.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.costs import TimingParameters
+
+
+class CoreTimeline:
+    """Monotonic CPU clock over a reference stream.
+
+    Args:
+        params: cycle-cost parameters.
+
+    The timeline is advanced in two ways: :meth:`advance_to_reference`
+    moves base time forward to a reference index, and :meth:`stall`
+    charges stall cycles (which shift everything after them).
+    """
+
+    def __init__(self, params: TimingParameters) -> None:
+        self.params = params
+        self.total_stall_cycles = 0.0
+        self._base_cycles = 0.0
+
+    def advance_to_reference(self, ref_index: int) -> float:
+        """Move base time to ``ref_index``; returns the current clock."""
+        self._base_cycles = ref_index * self.params.cycles_per_reference
+        return self.now
+
+    def stall(self, cycles: float) -> None:
+        """Charge the CPU ``cycles`` of stall (non-negative)."""
+        if cycles > 0:
+            self.total_stall_cycles += cycles
+
+    @property
+    def now(self) -> float:
+        """Current cycle count: base progress plus all stalls so far."""
+        return self._base_cycles + self.total_stall_cycles
+
+    def finish(self, total_references: int) -> float:
+        """Total cycles after the last reference retires."""
+        return (
+            total_references * self.params.cycles_per_reference
+            + self.total_stall_cycles
+        )

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A simulator, table, or workload was configured with invalid values.
+
+    Raised eagerly at construction time (not at use time) so that a bad
+    sweep parameter fails before a long simulation starts.
+    """
+
+
+class UnknownWorkloadError(ReproError, KeyError):
+    """A workload name was not found in the registry."""
+
+    def __init__(self, name: str, known: list[str] | None = None) -> None:
+        self.name = name
+        self.known = known or []
+        hint = ""
+        if self.known:
+            hint = f" (known: {', '.join(sorted(self.known)[:8])}, ...)"
+        super().__init__(f"unknown workload {name!r}{hint}")
+
+
+class UnknownPrefetcherError(ReproError, KeyError):
+    """A prefetcher name was not found in the factory registry."""
+
+    def __init__(self, name: str, known: list[str] | None = None) -> None:
+        self.name = name
+        self.known = known or []
+        hint = f" (known: {', '.join(sorted(self.known))})" if self.known else ""
+        super().__init__(f"unknown prefetcher {name!r}{hint}")
+
+
+class TraceError(ReproError):
+    """A reference or miss trace is malformed (e.g. negative run count)."""

@@ -1,0 +1,42 @@
+"""Memory substrate: address arithmetic and reference/miss traces.
+
+This subpackage provides everything "below" the TLB:
+
+- :mod:`repro.mem.address` — page-size math and virtual-address helpers.
+- :mod:`repro.mem.reference` — the run-length-encoded reference unit.
+- :mod:`repro.mem.trace` — containers for reference traces and the
+  TLB miss traces consumed by the prefetch engines.
+"""
+
+from repro.mem.address import (
+    DEFAULT_PAGE_SHIFT,
+    DEFAULT_PAGE_SIZE,
+    AddressSpace,
+    page_of,
+    page_shift_for_size,
+    rescale_page,
+)
+from repro.mem.reference import ReferenceRun
+from repro.mem.trace import MissTrace, ReferenceTrace
+from repro.mem.trace_io import (
+    load_miss_trace,
+    load_reference_trace,
+    save_miss_trace,
+    save_reference_trace,
+)
+
+__all__ = [
+    "DEFAULT_PAGE_SHIFT",
+    "DEFAULT_PAGE_SIZE",
+    "AddressSpace",
+    "MissTrace",
+    "ReferenceRun",
+    "ReferenceTrace",
+    "load_miss_trace",
+    "load_reference_trace",
+    "page_of",
+    "page_shift_for_size",
+    "rescale_page",
+    "save_miss_trace",
+    "save_reference_trace",
+]

@@ -1,0 +1,30 @@
+"""The no-prefetching baseline.
+
+Execution-cycle results in the paper (Table 3) are normalized to a run
+with no prefetching; this mechanism makes that run expressible through
+the same engine code path.
+"""
+
+from __future__ import annotations
+
+from repro.prefetch.base import HardwareDescription, Prefetcher
+
+
+class NullPrefetcher(Prefetcher):
+    """Never prefetches anything."""
+
+    name = "none"
+
+    def on_miss(self, pc: int, page: int, evicted: int, pb_hit: bool) -> list[int]:
+        return []
+
+    def describe_hardware(self) -> HardwareDescription:
+        return HardwareDescription(
+            name=self.name,
+            rows="0",
+            row_contents="-",
+            location="-",
+            index_source="-",
+            memory_ops_per_miss=0,
+            max_prefetches="0",
+        )

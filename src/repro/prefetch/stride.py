@@ -1,0 +1,120 @@
+"""Arbitrary Stride Prefetching (ASP) — the paper's Section 2.2.
+
+The Chen & Baer reference prediction table (RPT) [8], adapted to the
+TLB miss stream: a PC-indexed table whose rows hold the page referenced
+the last time this instruction missed, the stride between its last two
+misses, and a two-bit state. A prefetch of ``page + stride`` is issued
+only from the ``steady`` state — i.e. "when there is no change in the
+stride for more than two references by that instruction", the paper's
+safeguard against spurious stride changes.
+
+State transitions (Chen & Baer, Figure 3 of [8]):
+
+====================  ======================  ==========================
+current state         stride unchanged         stride changed
+====================  ======================  ==========================
+``initial``           -> ``steady``            -> ``transient`` (update)
+``transient``         -> ``steady``            -> ``no-pred``  (update)
+``steady``            -> ``steady``            -> ``initial``  (keep)
+``no-pred``           -> ``transient``         -> ``no-pred``  (update)
+====================  ======================  ==========================
+
+ASP rows have exactly one slot, so at most one prefetch per miss.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.prediction_table import PredictionTable
+from repro.prefetch.base import HardwareDescription, Prefetcher
+
+
+class StrideState(enum.IntEnum):
+    """Chen & Baer RPT entry states."""
+
+    INITIAL = 0
+    TRANSIENT = 1
+    STEADY = 2
+    NO_PREDICTION = 3
+
+
+@dataclass(slots=True)
+class StrideEntry:
+    """One RPT row: last page, running stride, confidence state."""
+
+    prev_page: int
+    stride: int = 0
+    state: StrideState = StrideState.INITIAL
+
+
+class ArbitraryStridePrefetcher(Prefetcher):
+    """PC-indexed stride prefetching over the TLB miss stream.
+
+    Args:
+        rows: RPT rows ``r`` (the paper sweeps 32..1024).
+        ways: table associativity (1 = direct mapped, 0 = fully assoc.).
+    """
+
+    name = "ASP"
+
+    def __init__(self, rows: int = 256, ways: int = 1) -> None:
+        super().__init__()
+        self.table: PredictionTable[StrideEntry] = PredictionTable(rows, ways)
+
+    def on_miss(self, pc: int, page: int, evicted: int, pb_hit: bool) -> list[int]:
+        entry = self.table.lookup(pc)
+        if entry is None:
+            self.table.insert(pc, StrideEntry(prev_page=page))
+            return self.account([])
+
+        new_stride = page - entry.prev_page
+        unchanged = new_stride == entry.stride
+        state = entry.state
+        if state is StrideState.INITIAL:
+            if unchanged:
+                entry.state = StrideState.STEADY
+            else:
+                entry.state = StrideState.TRANSIENT
+                entry.stride = new_stride
+        elif state is StrideState.TRANSIENT:
+            if unchanged:
+                entry.state = StrideState.STEADY
+            else:
+                entry.state = StrideState.NO_PREDICTION
+                entry.stride = new_stride
+        elif state is StrideState.STEADY:
+            if not unchanged:
+                entry.state = StrideState.INITIAL
+        else:  # NO_PREDICTION
+            if unchanged:
+                entry.state = StrideState.TRANSIENT
+            else:
+                entry.stride = new_stride
+        entry.prev_page = page
+
+        prefetches: list[int] = []
+        if entry.state is StrideState.STEADY and entry.stride:
+            target = page + entry.stride
+            if target >= 0:
+                prefetches.append(target)
+        return self.account(prefetches)
+
+    def flush(self) -> None:
+        self.table.flush()
+
+    @property
+    def label(self) -> str:
+        return f"{self.name},{self.table.rows}"
+
+    def describe_hardware(self) -> HardwareDescription:
+        return HardwareDescription(
+            name=self.name,
+            rows="r",
+            row_contents="PC Tag, Page #, Stride and State",
+            location="On-Chip",
+            index_source="PC",
+            memory_ops_per_miss=0,
+            max_prefetches="1",
+        )

@@ -1,0 +1,35 @@
+"""Simulation engines.
+
+- :mod:`repro.sim.config` — TLB/buffer/warm-up configuration records.
+- :mod:`repro.sim.stats` — per-run statistics containers.
+- :mod:`repro.sim.functional` — online functional simulation of the
+  full MMU pipeline (the sim-cache analogue).
+- :mod:`repro.sim.two_phase` — fast path: filter the TLB once per
+  (workload, TLB config), then replay only the miss stream per
+  prefetcher. Exactly equivalent to the functional path (property-
+  tested) because prefetching cannot change the TLB miss stream.
+- :mod:`repro.sim.cycle` — execution-cycle timing model (the
+  sim-outorder analogue behind the paper's Table 3).
+- :mod:`repro.sim.sweep` — parameter-sweep drivers for the sensitivity
+  figures.
+- :mod:`repro.sim.multiprog` — multiprogrammed (context-switching)
+  simulation, the paper's Section 4 future-work axis.
+"""
+
+from repro.sim.config import SimulationConfig, TLBConfig
+from repro.sim.cycle import CycleSimConfig, CycleStats, simulate_cycles
+from repro.sim.functional import simulate
+from repro.sim.stats import PrefetchRunStats
+from repro.sim.two_phase import filter_tlb, replay_prefetcher
+
+__all__ = [
+    "CycleSimConfig",
+    "CycleStats",
+    "PrefetchRunStats",
+    "SimulationConfig",
+    "TLBConfig",
+    "filter_tlb",
+    "replay_prefetcher",
+    "simulate",
+    "simulate_cycles",
+]

@@ -1,0 +1,89 @@
+"""Per-run statistics for prefetching simulations.
+
+The headline metric is the paper's *prediction accuracy*: the fraction
+of TLB misses whose translation was waiting in the prefetch buffer. The
+remaining counters quantify the costs the paper weighs against accuracy
+— prefetch volume, buffer churn, and memory-system operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PrefetchRunStats:
+    """Outcome of running one mechanism over one workload.
+
+    Attributes:
+        workload: workload name.
+        mechanism: mechanism display label (e.g. ``DP,256,D``).
+        tlb_label: TLB configuration label (e.g. ``128e-FA``).
+        total_references: memory references the TLB observed.
+        tlb_misses: total TLB misses (warm-up included).
+        measured_misses: misses inside the measurement window.
+        pb_hits: measured misses satisfied by the prefetch buffer.
+        prefetches_issued: pages the mechanism asked to prefetch.
+        buffer_inserted: prefetches accepted as new buffer entries.
+        buffer_refreshed: prefetches that merely refreshed an entry.
+        buffer_evicted_unused: buffer entries evicted before any use.
+        overhead_memory_ops: non-prefetch memory ops (RP pointer writes).
+        prefetch_fetch_ops: memory fetches for prefetched entries.
+        extra: free-form per-run annotations (sweep parameters etc.).
+    """
+
+    workload: str
+    mechanism: str
+    tlb_label: str
+    total_references: int
+    tlb_misses: int
+    measured_misses: int
+    pb_hits: int
+    prefetches_issued: int
+    buffer_inserted: int
+    buffer_refreshed: int
+    buffer_evicted_unused: int
+    overhead_memory_ops: int
+    prefetch_fetch_ops: int
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Fraction of measured TLB misses that hit the prefetch buffer."""
+        if self.measured_misses == 0:
+            return 0.0
+        return self.pb_hits / self.measured_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """TLB misses per reference (the paper's ``m_i``)."""
+        if self.total_references == 0:
+            return 0.0
+        return self.tlb_misses / self.total_references
+
+    @property
+    def memory_ops_total(self) -> int:
+        """All prefetch-related memory operations (overhead + fetches)."""
+        return self.overhead_memory_ops + self.prefetch_fetch_ops
+
+    @property
+    def memory_ops_per_miss(self) -> float:
+        """Average prefetch-related memory operations per TLB miss."""
+        if self.tlb_misses == 0:
+            return 0.0
+        return self.memory_ops_total / self.tlb_misses
+
+    @property
+    def buffer_waste_fraction(self) -> float:
+        """Share of accepted prefetches evicted before being used."""
+        if self.buffer_inserted == 0:
+            return 0.0
+        return self.buffer_evicted_unused / self.buffer_inserted
+
+    def one_line(self) -> str:
+        """Compact human-readable summary row."""
+        return (
+            f"{self.workload:<14} {self.mechanism:<12} acc={self.prediction_accuracy:6.3f} "
+            f"miss_rate={self.miss_rate:8.5f} prefetches={self.prefetches_issued:>9} "
+            f"mem_ops/miss={self.memory_ops_per_miss:5.2f}"
+        )

@@ -1,0 +1,23 @@
+"""TLB substrate: the TLB itself, prefetch buffer, page table, and MMU.
+
+- :mod:`repro.tlb.tlb` — set-associative / fully-associative LRU TLB.
+- :mod:`repro.tlb.prefetch_buffer` — the small buffer probed in
+  parallel with the TLB that holds prefetched translations.
+- :mod:`repro.tlb.page_table` — PTE store, including the ``next``/
+  ``prev`` recency-stack fields Recency Prefetching keeps in memory.
+- :mod:`repro.tlb.mmu` — wires TLB + buffer + a prefetcher into the
+  full address-translation pipeline of the paper's Figure 1.
+"""
+
+from repro.tlb.page_table import PageTable, RecencyStack
+from repro.tlb.prefetch_buffer import PrefetchBuffer
+from repro.tlb.tlb import TLB, FULLY_ASSOCIATIVE, TLBAccess
+
+__all__ = [
+    "FULLY_ASSOCIATIVE",
+    "PageTable",
+    "PrefetchBuffer",
+    "RecencyStack",
+    "TLB",
+    "TLBAccess",
+]

@@ -1,0 +1,126 @@
+"""The full address-translation pipeline of the paper's Figure 1.
+
+``MMU`` wires together a TLB, a prefetch buffer and one prefetch
+mechanism and exposes per-reference translation. The exact event order
+per reference:
+
+1. Probe the TLB. A hit ends the access.
+2. On a TLB miss, probe the prefetch buffer. A hit there removes the
+   entry from the buffer (it "moves over to the TLB") and counts as a
+   correct prediction; a miss is a demand page-table fetch.
+3. Either way, the page fills the TLB (possibly evicting the LRU
+   entry) — which is why TLB contents, and hence the miss stream, are
+   independent of the prefetch mechanism.
+4. The mechanism observes the miss and may request prefetches, which
+   are inserted into the buffer.
+
+This is the single authoritative implementation of the pipeline; the
+functional simulator drives it run by run, and the two-phase fast path
+is property-tested against it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.prefetch.base import NO_EVICTION, Prefetcher
+from repro.tlb.prefetch_buffer import PrefetchBuffer
+from repro.tlb.tlb import TLB
+
+
+class TranslationOutcome(enum.IntEnum):
+    """How a single reference was translated."""
+
+    TLB_HIT = 0
+    BUFFER_HIT = 1
+    DEMAND_MISS = 2
+
+
+class MMU:
+    """TLB + prefetch buffer + prefetch mechanism (paper Figure 1).
+
+    Args:
+        tlb: the TLB instance.
+        buffer: the prefetch buffer probed in parallel with the TLB.
+        prefetcher: the mechanism observing the miss stream.
+        max_prefetches_per_miss: clamp on prefetches accepted per miss
+            (0 = whatever the mechanism returns).
+
+    Statistics:
+        references: references translated.
+        tlb_misses: references that missed the TLB.
+        buffer_hits: TLB misses satisfied by the prefetch buffer.
+    """
+
+    def __init__(
+        self,
+        tlb: TLB,
+        buffer: PrefetchBuffer,
+        prefetcher: Prefetcher,
+        max_prefetches_per_miss: int = 0,
+    ) -> None:
+        self.tlb = tlb
+        self.buffer = buffer
+        self.prefetcher = prefetcher
+        self.max_prefetches_per_miss = max_prefetches_per_miss
+        self.references = 0
+        self.tlb_misses = 0
+        self.buffer_hits = 0
+
+    def translate(self, pc: int, page: int) -> TranslationOutcome:
+        """Translate one reference, driving the full pipeline."""
+        self.references += 1
+        if self.tlb.probe(page):
+            return TranslationOutcome.TLB_HIT
+        self.tlb_misses += 1
+
+        pb_hit = self.buffer.lookup_remove(page)
+        if pb_hit:
+            self.buffer_hits += 1
+        evicted = self.tlb.fill(page)
+
+        prefetches = self.prefetcher.on_miss(
+            pc, page, evicted if evicted is not None else NO_EVICTION, pb_hit
+        )
+        if self.max_prefetches_per_miss and len(prefetches) > self.max_prefetches_per_miss:
+            prefetches = prefetches[: self.max_prefetches_per_miss]
+        for target in prefetches:
+            self.buffer.insert(target)
+        return TranslationOutcome.BUFFER_HIT if pb_hit else TranslationOutcome.DEMAND_MISS
+
+    def translate_run(self, pc: int, page: int, count: int) -> TranslationOutcome:
+        """Translate ``count`` consecutive references to one page.
+
+        Only the first reference can miss (the page is MRU afterwards),
+        so the remainder are accounted as hits without re-probing —
+        the run-length-encoding contract of the trace format.
+        """
+        outcome = self.translate(pc, page)
+        if count > 1:
+            self.references += count - 1
+            self.tlb.hits += count - 1
+        return outcome
+
+    def flush_for_context_switch(self, flush_prediction_state: bool = True) -> None:
+        """Invalidate TLB and buffer (and optionally prediction tables).
+
+        Models a process switch in the multiprogrammed study: address
+        spaces are distinct, so translations cannot be reused; whether
+        the on-chip *prediction* tables are flushed is the policy knob
+        the paper's Section 4 raises.
+        """
+        self.tlb.flush()
+        self.buffer.flush()
+        if flush_prediction_state:
+            self.prefetcher.flush()
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Buffer hits per TLB miss so far."""
+        return self.buffer_hits / self.tlb_misses if self.tlb_misses else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"MMU(tlb={self.tlb.label}, buffer={self.buffer.capacity}, "
+            f"mechanism={self.prefetcher.label}, accuracy={self.prediction_accuracy:.4f})"
+        )

@@ -1,0 +1,103 @@
+"""The prefetch buffer: a small LRU buffer probed alongside the TLB.
+
+All mechanisms in the paper share this structure (Section 2): prefetched
+page-table entries land here, the buffer is looked up concurrently with
+the TLB, and an entry is *moved into the TLB* only when the application
+actually references it. A prediction is counted as correct when a TLB
+miss finds its translation in this buffer — that is the paper's
+"prediction accuracy" metric.
+
+Replacement is LRU over insertions; re-prefetching a page already
+buffered refreshes its recency instead of duplicating it. Because an
+entry leaves the buffer on its first hit, each buffered entry can
+satisfy at most one miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+
+class PrefetchBuffer:
+    """Fixed-capacity LRU buffer of prefetched translations.
+
+    Args:
+        capacity: number of entries (the paper uses 16, with 32 and 64
+            as sensitivity points).
+
+    Statistics (all cumulative):
+        hits: lookups that found their page (successful predictions).
+        lookups: total lookups (equals TLB misses when driven by one).
+        inserted: prefetches accepted into the buffer.
+        refreshed: prefetches that found their page already buffered.
+        evicted_unused: entries evicted before ever being referenced —
+            the waste an over-aggressive prefetcher causes.
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"buffer capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.lookups = 0
+        self.inserted = 0
+        self.refreshed = 0
+        self.evicted_unused = 0
+
+    def lookup_remove(self, page: int) -> bool:
+        """Probe for ``page``; on a hit, remove it (it moves to the TLB)."""
+        self.lookups += 1
+        if page in self._entries:
+            del self._entries[page]
+            self.hits += 1
+            return True
+        return False
+
+    def insert(self, page: int) -> int | None:
+        """Buffer a prefetched translation; return any evicted page.
+
+        Inserting a page already present refreshes its LRU position
+        (hardware would coalesce the duplicate prefetch).
+        """
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            self.refreshed += 1
+            return None
+        evicted = None
+        if len(self._entries) >= self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self.evicted_unused += 1
+        self._entries[page] = None
+        self.inserted += 1
+        return evicted
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def resident_pages(self) -> list[int]:
+        """Buffered pages, LRU first."""
+        return list(self._entries)
+
+    def flush(self) -> int:
+        """Drop all buffered entries (context switch); returns count."""
+        dropped = len(self._entries)
+        self.evicted_unused += dropped
+        self._entries.clear()
+        return dropped
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup — prediction accuracy when driven by misses."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"PrefetchBuffer(capacity={self.capacity}, resident={len(self)}, "
+            f"hit_rate={self.hit_rate:.4f})"
+        )

@@ -1,0 +1,626 @@
+"""Reference-pattern primitives for synthesizing application traces.
+
+Each primitive emits a run-length-encoded page reference stream as
+parallel numpy arrays ``(pcs, pages, counts)``. The primitives map onto
+the paper's Section 1 taxonomy of reference behaviour:
+
+(a) regular strided, items touched once      -> :class:`StridedSweep`
+    (``sweeps=1``), :class:`ChangingStrideSweep`
+(b) regular strided, items touched repeatedly -> :class:`StridedSweep`
+    (``sweeps>1``)
+(c) strides that change over time             -> :class:`ChangingStrideSweep`
+(d) irregular but repeating                   -> :class:`PermutationWalk`
+    (``sweeps>1``), :class:`MarkovAlternation`,
+    :class:`InterleavedStreams` / :class:`DistanceCycleScan` (the
+    stride *changes* repeat even on first touch)
+(e) no regularity                             -> :class:`RandomWalk`
+
+``refs_per_page`` throttles the TLB miss rate: a page is referenced
+that many times (on average) before the next page is touched, so a
+pattern whose every new page misses yields a miss rate of about
+``1 / refs_per_page``. :class:`WithHotTraffic` dilutes miss rates
+further with TLB-resident hot-set references, the way a benchmark's
+stack/global traffic does.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Emitted stream: (pcs, pages, counts), equal-length int64 arrays.
+RunArrays = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _as_run_arrays(pcs: np.ndarray, pages: np.ndarray, counts: np.ndarray) -> RunArrays:
+    return (
+        np.ascontiguousarray(pcs, dtype=np.int64),
+        np.ascontiguousarray(pages, dtype=np.int64),
+        np.ascontiguousarray(counts, dtype=np.int64),
+    )
+
+
+def draw_counts(rng: np.random.Generator, n: int, refs_per_page: float) -> np.ndarray:
+    """Draw ``n`` per-run reference counts averaging ``refs_per_page``.
+
+    Counts are ``floor(refs_per_page)`` plus a Bernoulli unit for the
+    fractional part, so the expected total is exact while every count
+    stays >= 1.
+    """
+    if refs_per_page < 1.0:
+        raise ConfigurationError(f"refs_per_page must be >= 1, got {refs_per_page}")
+    base = int(refs_per_page)
+    frac = refs_per_page - base
+    counts = np.full(n, base, dtype=np.int64)
+    if frac > 0.0:
+        counts += rng.random(n) < frac
+    return np.maximum(counts, 1)
+
+
+class Pattern(abc.ABC):
+    """A generator of run-length-encoded page references."""
+
+    @abc.abstractmethod
+    def emit(self, rng: np.random.Generator) -> RunArrays:
+        """Produce the pattern's reference runs using ``rng``."""
+
+
+class StridedSweep(Pattern):
+    """Visit ``count`` pages at a constant stride, ``sweeps`` times over.
+
+    One sweep models a single array traversal (behaviour class (a));
+    repeated sweeps model the repeated traversals of galgel-class codes
+    (class (b)). With ``count`` exceeding the TLB reach, every touched
+    page misses, yielding a miss rate of ``~1/refs_per_page``.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        base: int,
+        count: int,
+        stride: int = 1,
+        refs_per_page: float = 1.0,
+        sweeps: int = 1,
+    ) -> None:
+        if count <= 0 or sweeps <= 0:
+            raise ConfigurationError("count and sweeps must be > 0")
+        if stride == 0:
+            raise ConfigurationError("stride must be non-zero")
+        self.pc = pc
+        self.base = base
+        self.count = count
+        self.stride = stride
+        self.refs_per_page = refs_per_page
+        self.sweeps = sweeps
+
+    def emit(self, rng: np.random.Generator) -> RunArrays:
+        one_sweep = self.base + np.arange(self.count, dtype=np.int64) * self.stride
+        if self.stride < 0:
+            one_sweep -= self.stride * (self.count - 1)  # keep pages >= base
+        pages = np.tile(one_sweep, self.sweeps)
+        n = pages.size
+        pcs = np.full(n, self.pc, dtype=np.int64)
+        counts = draw_counts(rng, n, self.refs_per_page)
+        return _as_run_arrays(pcs, pages, counts)
+
+
+class ChangingStrideSweep(Pattern):
+    """Strided traversal whose stride changes between segments.
+
+    Behaviour class (c): the same data structure is walked with
+    different strides over time (e.g. row- then column-order passes).
+    An adaptive stride scheme re-locks after each change; a plain
+    history scheme sees each page once and learns nothing on one-touch
+    data.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        base: int,
+        segment_pages: int,
+        strides: Sequence[int],
+        refs_per_page: float = 1.0,
+        sweeps: int = 1,
+    ) -> None:
+        if segment_pages <= 0 or sweeps <= 0:
+            raise ConfigurationError("segment_pages and sweeps must be > 0")
+        if not strides or any(s == 0 for s in strides):
+            raise ConfigurationError("strides must be non-empty and non-zero")
+        self.pc = pc
+        self.base = base
+        self.segment_pages = segment_pages
+        self.strides = list(strides)
+        self.refs_per_page = refs_per_page
+        self.sweeps = sweeps
+
+    def emit(self, rng: np.random.Generator) -> RunArrays:
+        segments: list[np.ndarray] = []
+        cursor = self.base
+        for stride in self.strides:
+            steps = np.arange(self.segment_pages, dtype=np.int64) * stride
+            if stride < 0:
+                cursor -= stride * (self.segment_pages - 1)
+            segment = cursor + steps
+            segments.append(segment)
+            cursor = int(segment.max()) + 1
+        one_sweep = np.concatenate(segments)
+        pages = np.tile(one_sweep, self.sweeps)
+        pcs = np.full(pages.size, self.pc, dtype=np.int64)
+        counts = draw_counts(rng, pages.size, self.refs_per_page)
+        return _as_run_arrays(pcs, pages, counts)
+
+
+class InterleavedStreams(Pattern):
+    """K strided streams advancing in lock-step (stencil/vector codes).
+
+    The page-level miss stream of ``c[i] = a[i] + b[i]``-style loops:
+    page transitions of the streams arrive interleaved, so the distance
+    sequence cycles through the inter-stream gaps — regular, yet not a
+    constant stride. With ``shared_pcs=True`` (default) the misses come
+    from a small rotating PC pool, modelling the page-crossing touch
+    falling on different instructions of an unrolled/fused loop
+    iteration — which denies a PC-indexed stride table a stable stride,
+    while the distance *cycle* remains trivially learnable. This is the
+    swim/mgrid/applu-class pattern where the paper finds DP far ahead.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        streams: Sequence[tuple[int, int]],
+        length: int,
+        refs_per_page: float = 1.0,
+        sweeps: int = 1,
+        shared_pcs: bool = True,
+        pc_pool: int = 2,
+    ) -> None:
+        if not streams:
+            raise ConfigurationError("need at least one stream")
+        if length <= 0 or sweeps <= 0:
+            raise ConfigurationError("length and sweeps must be > 0")
+        if any(stride == 0 for _, stride in streams):
+            raise ConfigurationError("stream strides must be non-zero")
+        self.pc = pc
+        self.streams = list(streams)
+        self.length = length
+        self.refs_per_page = refs_per_page
+        self.sweeps = sweeps
+        self.shared_pcs = shared_pcs
+        self.pc_pool = max(1, pc_pool)
+
+    def emit(self, rng: np.random.Generator) -> RunArrays:
+        steps = np.arange(self.length, dtype=np.int64)
+        columns = [base + steps * stride for base, stride in self.streams]
+        matrix = np.stack(columns, axis=1)  # (length, K)
+        one_sweep = matrix.reshape(-1)
+        pages = np.tile(one_sweep, self.sweeps)
+        n = pages.size
+        if self.shared_pcs:
+            pcs = self.pc + (np.arange(n, dtype=np.int64) % self.pc_pool)
+        else:
+            stream_pcs = self.pc + np.arange(len(self.streams), dtype=np.int64)
+            pcs = np.tile(stream_pcs, self.length * self.sweeps)
+        counts = draw_counts(rng, n, self.refs_per_page)
+        return _as_run_arrays(pcs, pages, counts)
+
+
+class DistanceCycleScan(Pattern):
+    """Pages advance by a repeating cycle of distances.
+
+    The paper's running example — the reference string 1, 2, 4, 5, 7, 8
+    — is ``DistanceCycleScan(cycle=[1, 2])``: DP captures it with two
+    table rows while MP needs one row per page.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        base: int,
+        cycle: Sequence[int],
+        steps: int,
+        refs_per_page: float = 1.0,
+        sweeps: int = 1,
+        pc_pool: int = 1,
+    ) -> None:
+        if not cycle or any(d == 0 for d in cycle):
+            raise ConfigurationError("cycle must be non-empty with non-zero distances")
+        if steps <= 0 or sweeps <= 0:
+            raise ConfigurationError("steps and sweeps must be > 0")
+        self.pc = pc
+        self.base = base
+        self.cycle = list(cycle)
+        self.steps = steps
+        self.refs_per_page = refs_per_page
+        self.sweeps = sweeps
+        self.pc_pool = max(1, pc_pool)
+
+    def emit(self, rng: np.random.Generator) -> RunArrays:
+        reps = -(-self.steps // len(self.cycle))  # ceil division
+        deltas = np.tile(np.asarray(self.cycle, dtype=np.int64), reps)[: self.steps]
+        offsets = np.concatenate(([0], np.cumsum(deltas)[:-1]))
+        one_sweep = self.base + offsets
+        minimum = int(one_sweep.min())
+        if minimum < 0:  # keep page numbers non-negative for mixed-sign cycles
+            one_sweep = one_sweep - minimum
+        pages = np.tile(one_sweep, self.sweeps)
+        n = pages.size
+        pcs = self.pc + (np.arange(n, dtype=np.int64) % self.pc_pool)
+        counts = draw_counts(rng, n, self.refs_per_page)
+        return _as_run_arrays(pcs, pages, counts)
+
+
+class PermutationWalk(Pattern):
+    """Walk a fixed random permutation of a region, ``sweeps`` times.
+
+    Behaviour class (d) in its purest form: no stride regularity at
+    all, but each sweep repeats the previous sweep's order exactly —
+    pointer-chasing over a stable heap (the mcf/ammp class). History
+    mechanisms (RP, and MP when its table is big enough) excel from the
+    second sweep on; stride mechanisms never lock.
+
+    ``reshuffle_each_sweep=True`` destroys the repetition (class (e)
+    behaviour with a uniform footprint).
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        base: int,
+        count: int,
+        refs_per_page: float = 1.0,
+        sweeps: int = 2,
+        reshuffle_each_sweep: bool = False,
+        pc_pool: int = 4,
+    ) -> None:
+        if count <= 1 or sweeps <= 0:
+            raise ConfigurationError("count must be > 1 and sweeps > 0")
+        self.pc = pc
+        self.base = base
+        self.count = count
+        self.refs_per_page = refs_per_page
+        self.sweeps = sweeps
+        self.reshuffle_each_sweep = reshuffle_each_sweep
+        self.pc_pool = max(1, pc_pool)
+
+    def emit(self, rng: np.random.Generator) -> RunArrays:
+        if self.reshuffle_each_sweep:
+            pages = np.concatenate(
+                [self.base + rng.permutation(self.count) for _ in range(self.sweeps)]
+            )
+        else:
+            order = self.base + rng.permutation(self.count)
+            pages = np.tile(order, self.sweeps)
+        n = pages.size
+        pcs = self.pc + (np.arange(n, dtype=np.int64) % self.pc_pool)
+        counts = draw_counts(rng, n, self.refs_per_page)
+        return _as_run_arrays(pcs, pages, counts)
+
+
+class MarkovAlternation(Pattern):
+    """A core sequence alternated with recurring side batches.
+
+    The paper's parser/vortex explanation: a reference string like
+    1,2,3,4, 1,5,2,6,3,7,4,8, 1,2,3,4, ... where the successor of a core
+    page *alternates* between the next core page and a side page. With
+    ``s = 2`` slots MP retains both successors and predicts either
+    continuation; RP's single recency neighbourhood keeps being
+    reorganized and does worse.
+
+    With ``core_only_rounds=True``, rounds alternate between the bare
+    core sequence and the core interleaved with one of ``batches``
+    recurring side batches; with ``False`` every round interleaves,
+    rotating through the batches — each core page then has exactly
+    ``batches`` alternating successors, the regime where MP's ``s``
+    slots beat RP's single recency neighbourhood most cleanly.
+
+    With ``permute_core=True`` (default) the core and batches are fixed
+    random page orders — pointer-linked structures — so neither a
+    PC-indexed stride table nor a pure distance table can shortcut the
+    pattern, exactly the regime where per-page Markov history wins.
+    PCs are drawn randomly from a small pool for the same reason.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        base: int,
+        core_count: int,
+        batches: int = 2,
+        rounds: int = 8,
+        refs_per_page: float = 1.0,
+        pc_pool: int = 4,
+        permute_core: bool = True,
+        core_only_rounds: bool = True,
+    ) -> None:
+        if core_count <= 1 or batches <= 0 or rounds <= 0:
+            raise ConfigurationError("core_count > 1, batches > 0, rounds > 0 required")
+        self.pc = pc
+        self.base = base
+        self.core_count = core_count
+        self.batches = batches
+        self.rounds = rounds
+        self.refs_per_page = refs_per_page
+        self.pc_pool = max(1, pc_pool)
+        self.permute_core = permute_core
+        self.core_only_rounds = core_only_rounds
+
+    def emit(self, rng: np.random.Generator) -> RunArrays:
+        if self.permute_core:
+            core = self.base + rng.permutation(self.core_count).astype(np.int64)
+        else:
+            core = self.base + np.arange(self.core_count, dtype=np.int64)
+        batch_pages = []
+        for b in range(self.batches):
+            batch = np.arange(self.core_count, dtype=np.int64)
+            if self.permute_core:
+                batch = rng.permutation(self.core_count).astype(np.int64)
+            batch_pages.append(self.base + self.core_count * (1 + b) + batch)
+        chunks: list[np.ndarray] = []
+        for round_index in range(self.rounds):
+            if self.core_only_rounds and round_index % 2 == 0:
+                chunks.append(core)
+                continue
+            if self.core_only_rounds:
+                batch = batch_pages[(round_index // 2) % self.batches]
+            else:
+                batch = batch_pages[round_index % self.batches]
+            interleaved = np.empty(2 * self.core_count, dtype=np.int64)
+            interleaved[0::2] = core
+            interleaved[1::2] = batch
+            chunks.append(interleaved)
+        pages = np.concatenate(chunks)
+        n = pages.size
+        pcs = self.pc + rng.integers(0, self.pc_pool, size=n, dtype=np.int64)
+        counts = draw_counts(rng, n, self.refs_per_page)
+        return _as_run_arrays(pcs, pages, counts)
+
+
+class RandomWalk(Pattern):
+    """Uniformly random page touches: behaviour class (e), fma3d-style.
+
+    Nothing repeats and strides carry no signal, so no mechanism should
+    achieve noticeable accuracy (a negative control for the harness).
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        base: int,
+        count: int,
+        steps: int,
+        refs_per_page: float = 1.0,
+        pc_pool: int = 8,
+    ) -> None:
+        if count <= 1 or steps <= 0:
+            raise ConfigurationError("count must be > 1 and steps > 0")
+        self.pc = pc
+        self.base = base
+        self.count = count
+        self.steps = steps
+        self.refs_per_page = refs_per_page
+        self.pc_pool = max(1, pc_pool)
+
+    def emit(self, rng: np.random.Generator) -> RunArrays:
+        pages = self.base + rng.integers(0, self.count, size=self.steps, dtype=np.int64)
+        pcs = self.pc + rng.integers(0, self.pc_pool, size=self.steps, dtype=np.int64)
+        counts = draw_counts(rng, self.steps, self.refs_per_page)
+        return _as_run_arrays(pcs, pages, counts)
+
+
+class HotSetLoop(Pattern):
+    """Round-robin references over a set small enough to stay resident.
+
+    Produces almost no misses after the first lap — the eon/g721 class
+    where "TLB prefetching is not as important anyway". Also the
+    building block for diluting other patterns via
+    :class:`WithHotTraffic`.
+    """
+
+    def __init__(
+        self,
+        pc: int,
+        base: int,
+        count: int,
+        laps: int,
+        refs_per_page: float = 4.0,
+        pc_pool: int = 4,
+        permute: bool = False,
+    ) -> None:
+        if count <= 0 or laps <= 0:
+            raise ConfigurationError("count and laps must be > 0")
+        self.pc = pc
+        self.base = base
+        self.count = count
+        self.laps = laps
+        self.refs_per_page = refs_per_page
+        self.pc_pool = max(1, pc_pool)
+        self.permute = permute
+
+    def emit(self, rng: np.random.Generator) -> RunArrays:
+        if self.permute:
+            # Permuted lap order: the one-time cold fill of the hot set
+            # is unpredictable (no mechanism should score on it).
+            lap = self.base + rng.permutation(self.count).astype(np.int64)
+        else:
+            lap = self.base + np.arange(self.count, dtype=np.int64)
+        pages = np.tile(lap, self.laps)
+        n = pages.size
+        pcs = self.pc + (np.arange(n, dtype=np.int64) % self.pc_pool)
+        counts = draw_counts(rng, n, self.refs_per_page)
+        return _as_run_arrays(pcs, pages, counts)
+
+
+class WithHotTraffic(Pattern):
+    """Interleave an inner pattern with TLB-resident hot-set references.
+
+    A run to the next page of a small rotating hot set is emitted after
+    every ``burst_every`` inner runs. Hot pages stay TLB-resident, so
+    the *miss stream* of the inner pattern is preserved while the total
+    reference count — and hence the miss rate — is diluted by roughly
+    ``1 + hot_refs_per_run / inner_refs_per_run``. This models the
+    stack/global traffic that gives real benchmarks miss rates of a few
+    percent rather than tens of percent.
+
+    ``burst_every > 1`` concentrates the dilution: inner runs (and
+    their misses) arrive in back-to-back bursts separated by long
+    hot-set stretches — the bursty miss timing of pointer-chasing
+    phases, which matters to the cycle model (a prefetch channel that
+    keeps up with the *average* miss rate can still saturate inside
+    bursts). ``hot_refs_per_run`` stays the per-inner-run average, so
+    the miss rate is independent of the burst factor.
+    """
+
+    def __init__(
+        self,
+        inner: Pattern,
+        hot_pc: int,
+        hot_base: int,
+        hot_pages: int = 24,
+        hot_refs_per_run: float = 8.0,
+        burst_every: int = 1,
+    ) -> None:
+        if hot_pages <= 0:
+            raise ConfigurationError("hot_pages must be > 0")
+        if hot_refs_per_run < 1.0:
+            raise ConfigurationError("hot_refs_per_run must be >= 1")
+        if burst_every < 1:
+            raise ConfigurationError("burst_every must be >= 1")
+        self.inner = inner
+        self.hot_pc = hot_pc
+        self.hot_base = hot_base
+        self.hot_pages = hot_pages
+        self.hot_refs_per_run = hot_refs_per_run
+        self.burst_every = burst_every
+
+    def emit(self, rng: np.random.Generator) -> RunArrays:
+        in_pcs, in_pages, in_counts = self.inner.emit(rng)
+        n = in_pages.size
+        k = n // self.burst_every
+        if k == 0:
+            return _as_run_arrays(in_pcs, in_pages, in_counts)
+        hot_pages = self.hot_base + (np.arange(k, dtype=np.int64) % self.hot_pages)
+        hot_pcs = np.full(k, self.hot_pc, dtype=np.int64)
+        hot_counts = draw_counts(
+            rng, k, self.hot_refs_per_run * self.burst_every
+        )
+        insert_positions = (np.arange(k, dtype=np.int64) + 1) * self.burst_every
+        pages = np.insert(in_pages, insert_positions, hot_pages)
+        pcs = np.insert(in_pcs, insert_positions, hot_pcs)
+        counts = np.insert(in_counts, insert_positions, hot_counts)
+        return _as_run_arrays(pcs, pages, counts)
+
+
+class WithNoise(Pattern):
+    """Inject occasional random-page runs into an inner pattern.
+
+    A fraction of the inner runs are followed by a reference to a
+    random page in a dedicated noise region. Unlike hot-set traffic the
+    noise pages *do* miss, so they dilute every mechanism's accuracy and
+    break prediction streaks — the impurity that keeps real benchmarks'
+    bars below 1.0. Noise references use their own PC block so they do
+    not corrupt the inner pattern's per-PC stride streams.
+    """
+
+    def __init__(
+        self,
+        inner: Pattern,
+        fraction: float,
+        noise_pc: int,
+        noise_base: int,
+        noise_pages: int = 50_000,
+        refs_per_page: float = 1.0,
+    ) -> None:
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigurationError(f"fraction must be in [0, 1), got {fraction}")
+        if noise_pages <= 0:
+            raise ConfigurationError("noise_pages must be > 0")
+        self.inner = inner
+        self.fraction = fraction
+        self.noise_pc = noise_pc
+        self.noise_base = noise_base
+        self.noise_pages = noise_pages
+        self.refs_per_page = refs_per_page
+
+    def emit(self, rng: np.random.Generator) -> RunArrays:
+        in_pcs, in_pages, in_counts = self.inner.emit(rng)
+        if self.fraction == 0.0:
+            return _as_run_arrays(in_pcs, in_pages, in_counts)
+        n = in_pages.size
+        inject_after = np.flatnonzero(rng.random(n) < self.fraction)
+        k = inject_after.size
+        if k == 0:
+            return _as_run_arrays(in_pcs, in_pages, in_counts)
+        noise_pages = self.noise_base + rng.integers(
+            0, self.noise_pages, size=k, dtype=np.int64
+        )
+        noise_counts = draw_counts(rng, k, self.refs_per_page)
+        # Build the merged stream: positions after the chosen inner runs.
+        insert_positions = inject_after + 1
+        pages = np.insert(in_pages, insert_positions, noise_pages)
+        pcs = np.insert(in_pcs, insert_positions, np.full(k, self.noise_pc, dtype=np.int64))
+        counts = np.insert(in_counts, insert_positions, noise_counts)
+        return _as_run_arrays(pcs, pages, counts)
+
+
+class Concat(Pattern):
+    """Play several patterns back to back (program phases)."""
+
+    def __init__(self, *patterns: Pattern) -> None:
+        if not patterns:
+            raise ConfigurationError("Concat needs at least one pattern")
+        self.patterns = patterns
+
+    def emit(self, rng: np.random.Generator) -> RunArrays:
+        parts = [pattern.emit(rng) for pattern in self.patterns]
+        return _as_run_arrays(
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+            np.concatenate([p[2] for p in parts]),
+        )
+
+
+class RoundRobinMix(Pattern):
+    """Interleave patterns in bursts of ``burst_runs`` runs each.
+
+    Models independent access streams (e.g. two data structures used in
+    the same loop nest) whose misses arrive interleaved. Patterns that
+    run out of runs drop out of the rotation.
+    """
+
+    def __init__(self, patterns: Sequence[Pattern], burst_runs: int = 8) -> None:
+        if not patterns:
+            raise ConfigurationError("RoundRobinMix needs at least one pattern")
+        if burst_runs <= 0:
+            raise ConfigurationError("burst_runs must be > 0")
+        self.patterns = list(patterns)
+        self.burst_runs = burst_runs
+
+    def emit(self, rng: np.random.Generator) -> RunArrays:
+        parts = [pattern.emit(rng) for pattern in self.patterns]
+        cursors = [0] * len(parts)
+        out_pcs: list[np.ndarray] = []
+        out_pages: list[np.ndarray] = []
+        out_counts: list[np.ndarray] = []
+        remaining = sum(p[1].size for p in parts)
+        while remaining > 0:
+            for index, (pcs, pages, counts) in enumerate(parts):
+                cursor = cursors[index]
+                if cursor >= pages.size:
+                    continue
+                end = min(cursor + self.burst_runs, pages.size)
+                out_pcs.append(pcs[cursor:end])
+                out_pages.append(pages[cursor:end])
+                out_counts.append(counts[cursor:end])
+                cursors[index] = end
+                remaining -= end - cursor
+        return _as_run_arrays(
+            np.concatenate(out_pcs),
+            np.concatenate(out_pages),
+            np.concatenate(out_counts),
+        )

@@ -1,0 +1,389 @@
+"""Builder factories shared by the per-suite registries.
+
+Each factory returns a ``builder(scale) -> Pattern`` closure for
+:class:`~repro.workloads.composer.AppSpec`. The factories correspond to
+the archetypes the paper's Section 3.2 narrative sorts applications
+into; the per-suite registries instantiate them with per-app footprints
+and miss-rate dilution.
+
+Address-space layout: every sub-pattern of an app gets its own region
+base so distinct "data structures" never alias. PC layout mirrors it —
+each pattern's instructions occupy a distinct PC block.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.workloads.composer import scaled
+from repro.workloads.patterns import (
+    ChangingStrideSweep,
+    Concat,
+    DistanceCycleScan,
+    HotSetLoop,
+    InterleavedStreams,
+    MarkovAlternation,
+    Pattern,
+    PermutationWalk,
+    RandomWalk,
+    RoundRobinMix,
+    StridedSweep,
+    WithHotTraffic,
+    WithNoise,
+)
+
+Builder = Callable[[float], Pattern]
+
+#: Region bases for an app's sub-patterns ("data structures").
+_REGION = [0, 4_000_000, 8_000_000, 12_000_000, 16_000_000, 20_000_000]
+#: PC block per sub-pattern ("loop nests").
+_PC = [0x1000, 0x2000, 0x3000, 0x4000, 0x5000, 0x6000]
+#: Region/PC used for hot-set (stack/globals) traffic.
+_HOT_REGION = 30_000_000
+_HOT_PC = 0xF000
+#: Region/PC used for injected noise references.
+_NOISE_REGION = 40_000_000
+_NOISE_PC = 0xE000
+
+#: Hot-set dilution: (hot pages, hot references per inner run) with an
+#: optional third element giving the miss-burst factor, or None.
+HotSpec = tuple[int, float] | tuple[int, float, int] | None
+
+
+def _diluted(inner: Pattern, hot: HotSpec, noise: float = 0.0) -> Pattern:
+    if noise > 0.0:
+        inner = WithNoise(
+            inner, fraction=noise, noise_pc=_NOISE_PC, noise_base=_NOISE_REGION
+        )
+    if hot is None:
+        return inner
+    hot_pages, hot_refs = hot[0], hot[1]
+    burst_every = hot[2] if len(hot) > 2 else 1
+    return WithHotTraffic(
+        inner,
+        hot_pc=_HOT_PC,
+        hot_base=_HOT_REGION,
+        hot_pages=hot_pages,
+        hot_refs_per_run=hot_refs,
+        burst_every=burst_every,
+    )
+
+
+def strided_repeated(
+    footprint: int,
+    refs_per_page: float,
+    sweeps: int,
+    stride: int = 1,
+    hot: HotSpec = None,
+) -> Builder:
+    """Class (b): repeated strided traversals (galgel/adpcm archetype).
+
+    With ``footprint`` beyond TLB reach, every touched page misses each
+    sweep, so the miss rate is about ``1 / refs_per_page`` (before hot
+    dilution). Stride schemes lock immediately; history schemes learn
+    from the second sweep; MP needs ~``footprint`` table rows.
+    """
+
+    def build(scale: float) -> Pattern:
+        inner = StridedSweep(
+            pc=_PC[0],
+            base=_REGION[0],
+            count=footprint,
+            stride=stride,
+            refs_per_page=refs_per_page,
+            sweeps=scaled(sweeps, scale),
+        )
+        return _diluted(inner, hot)
+
+    return build
+
+
+def one_touch_strided(
+    segment_pages: int,
+    strides: Sequence[int],
+    refs_per_page: float,
+    repeats: int = 1,
+    hot: HotSpec = None,
+    noise: float = 0.10,
+) -> Builder:
+    """Classes (a)/(c): fresh data walked at (changing) strides.
+
+    ``repeats`` re-runs the phase over *new* regions, so no page is
+    ever revisited — the gzip/equake archetype where first-time
+    references dominate and only stride/distance schemes can predict.
+    ``noise`` injects the unpredictable side misses that keep real
+    applications' accuracy bars below 1.0.
+    """
+
+    def build(scale: float) -> Pattern:
+        phases: list[Pattern] = []
+        total = scaled(repeats, scale)
+        for phase_index in range(total):
+            phases.append(
+                ChangingStrideSweep(
+                    pc=_PC[phase_index % 3],
+                    base=_REGION[0] + phase_index * 2_000_000,
+                    segment_pages=segment_pages,
+                    strides=strides,
+                    refs_per_page=refs_per_page,
+                    sweeps=1,
+                )
+            )
+        return _diluted(Concat(*phases), hot, noise=noise)
+
+    return build
+
+
+def interleaved_stream_app(
+    num_streams: int,
+    stream_gap: int,
+    length: int,
+    refs_per_page: float,
+    sweeps: int = 1,
+    stream_stride: int = 1,
+    pc_pool: int = 2,
+    hot: HotSpec = None,
+    noise: float = 0.06,
+    asp_side_pages: int = 0,
+    asp_side_sweeps: int = 1,
+) -> Builder:
+    """Class (d) via lock-step streams (swim/mgrid/applu archetype).
+
+    The miss-stream distances cycle through the inter-stream gaps:
+    regular enough for DP to learn in ``num_streams`` rows, invisible
+    to a PC-indexed stride table (the PC pool is smaller than the
+    stream count), and unlearnable by history schemes on first touch.
+    ``asp_side_pages`` adds a small private-PC strided stream so ASP
+    keeps the modest non-zero bar the paper shows for these apps.
+    """
+
+    def build(scale: float) -> Pattern:
+        streams = [
+            (_REGION[0] + s * stream_gap, stream_stride) for s in range(num_streams)
+        ]
+        inner: Pattern = InterleavedStreams(
+            pc=_PC[0],
+            streams=streams,
+            length=scaled(length, scale),
+            refs_per_page=refs_per_page,
+            sweeps=sweeps,
+            shared_pcs=True,
+            pc_pool=pc_pool,
+        )
+        if asp_side_pages > 0:
+            side = StridedSweep(
+                pc=_PC[4],
+                base=_REGION[4],
+                count=asp_side_pages,
+                stride=1,
+                refs_per_page=refs_per_page,
+                sweeps=scaled(asp_side_sweeps, scale),
+            )
+            inner = RoundRobinMix([inner, side], burst_runs=16)
+        return _diluted(inner, hot, noise=noise)
+
+    return build
+
+
+def distance_cycle_app(
+    cycle: Sequence[int],
+    steps: int,
+    refs_per_page: float,
+    sweeps: int = 1,
+    hot: HotSpec = None,
+    noise: float = 0.06,
+) -> Builder:
+    """Class (d): pages advance by a repeating distance cycle.
+
+    The paper's 1,2,4,5,7,8 example generalized — the purest showcase
+    of distance prefetching.
+    """
+
+    def build(scale: float) -> Pattern:
+        inner = DistanceCycleScan(
+            pc=_PC[0],
+            base=_REGION[0],
+            cycle=cycle,
+            steps=scaled(steps, scale),
+            refs_per_page=refs_per_page,
+            sweeps=sweeps,
+        )
+        return _diluted(inner, hot, noise=noise)
+
+    return build
+
+
+def history_walk(
+    walk_pages: int,
+    refs_per_page: float,
+    sweeps: int,
+    strided_pages: int = 0,
+    strided_sweeps: int = 1,
+    strided_refs_per_page: float = 2.0,
+    burst_runs: int = 12,
+    hot: HotSpec = None,
+) -> Builder:
+    """Class (d) pointer-chasing with an optional strided side stream
+    (the gcc/ammp/mcf archetype where history schemes lead).
+
+    A fixed permutation of ``walk_pages`` is re-walked every sweep:
+    RP's in-memory stack reconstructs the order regardless of footprint;
+    MP needs ``walk_pages`` rows; stride schemes see noise. The strided
+    side stream (interleaved in bursts) is the share of the miss stream
+    DP and ASP *can* capture — its size tunes how close DP gets to RP.
+    """
+
+    def build(scale: float) -> Pattern:
+        walk = PermutationWalk(
+            pc=_PC[0],
+            base=_REGION[0],
+            count=walk_pages,
+            refs_per_page=refs_per_page,
+            sweeps=scaled(sweeps, scale),
+            pc_pool=4,
+        )
+        if strided_pages <= 0:
+            return _diluted(walk, hot)
+        strided = StridedSweep(
+            pc=_PC[1],
+            base=_REGION[1],
+            count=strided_pages,
+            stride=1,
+            refs_per_page=strided_refs_per_page,
+            sweeps=scaled(strided_sweeps, scale),
+        )
+        inner = RoundRobinMix([walk, strided], burst_runs=burst_runs)
+        return _diluted(inner, hot)
+
+    return build
+
+
+def alternation_app(
+    core_pages: int,
+    batches: int,
+    rounds: int,
+    refs_per_page: float,
+    hot: HotSpec = None,
+    core_only_rounds: bool = False,
+) -> Builder:
+    """Class (d) alternation (parser/vortex archetype): MP's ``s`` slots
+    retain every alternating successor of a page, beating RP's single
+    recency neighbourhood (which always reflects only the last round's
+    batch).
+    """
+
+    def build(scale: float) -> Pattern:
+        inner = MarkovAlternation(
+            pc=_PC[0],
+            base=_REGION[0],
+            core_count=core_pages,
+            batches=batches,
+            rounds=scaled(rounds, scale),
+            refs_per_page=refs_per_page,
+            core_only_rounds=core_only_rounds,
+        )
+        return _diluted(inner, hot)
+
+    return build
+
+
+def random_touch(
+    footprint: int,
+    steps: int,
+    refs_per_page: float,
+    hot: HotSpec = None,
+) -> Builder:
+    """Class (e): uniform random (fma3d archetype) — nobody predicts."""
+
+    def build(scale: float) -> Pattern:
+        inner = RandomWalk(
+            pc=_PC[0],
+            base=_REGION[0],
+            count=footprint,
+            steps=scaled(steps, scale),
+            refs_per_page=refs_per_page,
+        )
+        return _diluted(inner, hot)
+
+    return build
+
+
+def low_miss_app(
+    hot_pages: int,
+    laps: int,
+    refs_per_page: float = 6.0,
+    cold_pages: int = 0,
+    cold_steps: int = 0,
+) -> Builder:
+    """Working set inside TLB reach (eon/g721 archetype): few misses,
+    so "TLB prefetching is not as important for them anyway".
+
+    An optional random cold sprinkle supplies the handful of misses the
+    paper still plots for these apps.
+    """
+
+    def build(scale: float) -> Pattern:
+        hot = HotSetLoop(
+            pc=_PC[0],
+            base=_REGION[0],
+            count=hot_pages,
+            laps=scaled(laps, scale),
+            refs_per_page=refs_per_page,
+            permute=True,  # the one-time cold fill must be unpredictable
+        )
+        if cold_pages <= 0 or cold_steps <= 0:
+            return hot
+        cold = RandomWalk(
+            pc=_PC[1],
+            base=_REGION[1],
+            count=cold_pages,
+            steps=scaled(cold_steps, scale),
+            refs_per_page=1.0,
+        )
+        return RoundRobinMix([hot, cold], burst_runs=max(4, hot_pages // 2))
+
+    return build
+
+
+def dp_only_app(
+    random_footprint: int,
+    random_steps: int,
+    cycle: Sequence[int],
+    cycle_steps: int,
+    refs_per_page: float,
+    burst_runs: int = 16,
+    hot: HotSpec = None,
+) -> Builder:
+    """Mostly-irregular stream with embedded distance-cycle bursts
+    (gsm/jpeg/ks archetype): DP reaches ~10–20% accuracy from the
+    bursts; every other mechanism stays near zero.
+    """
+
+    def build(scale: float) -> Pattern:
+        noise = RandomWalk(
+            pc=_PC[0],
+            base=_REGION[0],
+            count=random_footprint,
+            steps=scaled(random_steps, scale),
+            refs_per_page=refs_per_page,
+        )
+        bursts = DistanceCycleScan(
+            pc=_PC[1],
+            base=_REGION[1],
+            cycle=cycle,
+            steps=scaled(cycle_steps, scale),
+            refs_per_page=refs_per_page,
+        )
+        inner = RoundRobinMix([noise, bursts], burst_runs=burst_runs)
+        return _diluted(inner, hot)
+
+    return build
+
+
+def mixed_app(builders: Sequence[Builder], burst_runs: int = 16) -> Builder:
+    """Interleave several archetypes (desktop/compiler-style phases)."""
+
+    def build(scale: float) -> Pattern:
+        return RoundRobinMix([b(scale) for b in builders], burst_runs=burst_runs)
+
+    return build

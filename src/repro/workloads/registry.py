@@ -1,0 +1,82 @@
+"""Registry of all 56 application models across the four suites.
+
+Lookup helpers used throughout the benchmarks and the CLI:
+
+- :func:`get_app` — fetch an :class:`~repro.workloads.composer.AppSpec`
+  by name.
+- :func:`get_trace` — build (and memoize) the deterministic reference
+  trace for an app at a given scale.
+- :data:`HIGH_MISS_APPS` — the paper's eight highest-miss-rate apps
+  used for Figure 9 and (its first five columns' subset) Table 3.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import UnknownWorkloadError
+from repro.mem.trace import ReferenceTrace
+from repro.workloads.composer import AppSpec, build_trace
+from repro.workloads.etch import ETCH_APPS
+from repro.workloads.mediabench import MEDIABENCH_APPS
+from repro.workloads.ptrdist import PTRDIST_APPS
+from repro.workloads.spec2000 import SPEC2000_APPS
+
+#: Suite name -> tuple of specs, in the paper's figure order.
+SUITES: dict[str, tuple[AppSpec, ...]] = {
+    "spec2000": SPEC2000_APPS,
+    "mediabench": MEDIABENCH_APPS,
+    "etch": ETCH_APPS,
+    "ptrdist": PTRDIST_APPS,
+}
+
+_ALL_APPS: dict[str, AppSpec] = {
+    spec.name: spec for suite in SUITES.values() for spec in suite
+}
+
+#: The paper's "8 applications which have the highest TLB miss rates"
+#: (Section 3.2), in the order of Figure 9's x-axis.
+HIGH_MISS_APPS: tuple[str, ...] = (
+    "vpr",
+    "mcf",
+    "twolf",
+    "galgel",
+    "ammp",
+    "lucas",
+    "apsi",
+    "adpcm-enc",
+)
+
+#: The Table 3 subset: the five of the eight where RP's prediction
+#: accuracy beats DP's.
+TABLE3_APPS: tuple[str, ...] = ("ammp", "mcf", "vpr", "twolf", "lucas")
+
+
+def all_app_names() -> list[str]:
+    """Every application name, suite by suite, figure order."""
+    return [spec.name for suite in SUITES.values() for spec in suite]
+
+
+def app_names_for_suite(suite: str) -> list[str]:
+    """Application names of one suite, in figure order."""
+    if suite not in SUITES:
+        raise UnknownWorkloadError(suite, list(SUITES))
+    return [spec.name for spec in SUITES[suite]]
+
+
+def get_app(name: str) -> AppSpec:
+    """Look up an application spec by its paper name."""
+    spec = _ALL_APPS.get(name)
+    if spec is None:
+        raise UnknownWorkloadError(name, list(_ALL_APPS))
+    return spec
+
+
+@lru_cache(maxsize=128)
+def get_trace(name: str, scale: float = 1.0) -> ReferenceTrace:
+    """Build (and cache) the deterministic trace for ``name``.
+
+    Traces are pure functions of (name, scale); the cache makes
+    repeated benchmark invocations cheap within a process.
+    """
+    return build_trace(get_app(name), scale=scale)

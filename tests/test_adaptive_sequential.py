@@ -1,0 +1,81 @@
+"""Unit tests for adaptive sequential prefetching (Dahlgren–Stenström)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prefetch.adaptive_sequential import AdaptiveSequentialPrefetcher
+from repro.prefetch.base import NO_EVICTION
+
+
+def _run_window(prefetcher, pb_hit: bool, window: int) -> None:
+    for i in range(window):
+        prefetcher.on_miss(0, 1000 + i, NO_EVICTION, pb_hit)
+
+
+class TestAdaptation:
+    def test_degree_doubles_on_success(self):
+        asp = AdaptiveSequentialPrefetcher(max_degree=8, window=16)
+        assert asp.degree == 1
+        _run_window(asp, pb_hit=True, window=16)
+        assert asp.degree == 2
+        _run_window(asp, pb_hit=True, window=16)
+        assert asp.degree == 4
+
+    def test_degree_capped(self):
+        asp = AdaptiveSequentialPrefetcher(max_degree=4, window=8)
+        for _ in range(6):
+            _run_window(asp, pb_hit=True, window=8)
+        assert asp.degree == 4
+
+    def test_degree_halves_on_failure(self):
+        asp = AdaptiveSequentialPrefetcher(max_degree=8, window=16)
+        _run_window(asp, pb_hit=True, window=16)
+        _run_window(asp, pb_hit=True, window=16)
+        assert asp.degree == 4
+        _run_window(asp, pb_hit=False, window=16)
+        assert asp.degree == 2
+
+    def test_degree_floor_is_one(self):
+        asp = AdaptiveSequentialPrefetcher(max_degree=8, window=8)
+        for _ in range(4):
+            _run_window(asp, pb_hit=False, window=8)
+        assert asp.degree == 1
+
+    def test_moderate_hit_rate_keeps_degree(self):
+        asp = AdaptiveSequentialPrefetcher(
+            max_degree=8, window=10, raise_above=0.8, lower_below=0.2
+        )
+        for i in range(10):
+            asp.on_miss(0, i, NO_EVICTION, pb_hit=(i % 2 == 0))
+        assert asp.degree == 1
+
+    def test_prefetches_match_degree(self):
+        asp = AdaptiveSequentialPrefetcher(max_degree=8, window=4)
+        _run_window(asp, pb_hit=True, window=4)
+        assert asp.on_miss(0, 100, NO_EVICTION, True) == [101, 102]
+
+    def test_flush_resets(self):
+        asp = AdaptiveSequentialPrefetcher(max_degree=8, window=4)
+        _run_window(asp, pb_hit=True, window=4)
+        asp.flush()
+        assert asp.degree == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_degree": 0},
+            {"window": 0},
+            {"raise_above": 0.1, "lower_below": 0.5},
+            {"raise_above": 1.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSequentialPrefetcher(**kwargs)
+
+    def test_label_and_hardware(self):
+        asp = AdaptiveSequentialPrefetcher(max_degree=8)
+        assert asp.label == "ASP-seq,k<=8"
+        assert asp.describe_hardware().max_prefetches == "8"

@@ -1,0 +1,78 @@
+"""Tests for per-suite / per-class aggregation."""
+
+import pytest
+
+from repro.analysis.aggregate import (
+    assert_class_expectations,
+    behavior_class_counts,
+    behavior_summary,
+    dominant_mechanism,
+    render_summary,
+    suite_summary,
+)
+from repro.prefetch.factory import create_prefetcher
+from repro.sim.two_phase import filter_tlb, replay_prefetcher
+from repro.workloads.composer import BehaviorClass
+from repro.workloads.registry import get_trace
+
+
+@pytest.fixture(scope="module")
+def sample_runs():
+    runs = []
+    for app in ("gzip", "galgel", "fma3d", "adpcm-enc", "gsm-enc"):
+        miss_trace = filter_tlb(get_trace(app, 0.05))
+        for mechanism in ("DP", "RP", "ASP", "MP"):
+            runs.append(
+                replay_prefetcher(miss_trace, create_prefetcher(mechanism, rows=256))
+            )
+    return runs
+
+
+class TestSuiteSummary:
+    def test_groups_by_suite(self, sample_runs):
+        summary = suite_summary(sample_runs)
+        assert set(summary) == {"spec2000", "mediabench"}
+        assert set(summary["spec2000"]) == {"DP", "RP", "ASP", "MP"}
+
+    def test_values_are_averages(self, sample_runs):
+        summary = suite_summary(sample_runs)
+        for per_mechanism in summary.values():
+            for value in per_mechanism.values():
+                assert 0.0 <= value <= 1.0
+
+
+class TestBehaviorSummary:
+    def test_groups_by_class(self, sample_runs):
+        summary = behavior_summary(sample_runs)
+        assert BehaviorClass.STRIDED_ONE_TOUCH.value in summary
+        assert BehaviorClass.STRIDED_REPEATED.value in summary
+        assert BehaviorClass.IRREGULAR.value in summary
+
+    def test_class_expectations_hold(self, sample_runs):
+        summary = behavior_summary(sample_runs)
+        assert assert_class_expectations(summary) == []
+
+    def test_expectations_detect_violations(self):
+        summary = {
+            BehaviorClass.IRREGULAR.value: {
+                "DP": 0.9, "RP": 0.0, "ASP": 0.0, "MP": 0.0,
+            }
+        }
+        assert assert_class_expectations(summary)
+
+
+class TestHelpers:
+    def test_dominant_mechanism(self, sample_runs):
+        summary = behavior_summary(sample_runs)
+        winners = dominant_mechanism(summary)
+        assert winners[BehaviorClass.STRIDED_ONE_TOUCH.value] == "DP"
+
+    def test_render(self, sample_runs):
+        text = render_summary(suite_summary(sample_runs))
+        assert "spec2000" in text
+        assert "DP" in text
+
+    def test_class_counts_cover_all_apps(self):
+        counts = behavior_class_counts()
+        assert sum(counts.values()) == 56
+        assert counts[BehaviorClass.LOW_MISS.value] >= 4

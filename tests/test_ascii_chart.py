@@ -1,0 +1,59 @@
+"""Unit tests for the ASCII chart and table renderers."""
+
+from repro.analysis.ascii_chart import bar, format_table, grouped_bars
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert bar(1.0, width=10) == "#" * 10
+        assert bar(0.0, width=10) == " " * 10
+
+    def test_half(self):
+        rendered = bar(0.5, width=10)
+        assert rendered.count("#") == 5
+        assert len(rendered) == 10
+
+    def test_clamps_out_of_range(self):
+        assert bar(1.5, width=4) == "####"
+        assert bar(-0.5, width=4) == "    "
+
+
+class TestGroupedBars:
+    def test_structure(self):
+        text = grouped_bars(
+            {"app1": {"DP": 0.9, "RP": 0.5}},
+            title="Figure X",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure X"
+        assert any("app1:" in line for line in lines)
+        assert any("DP" in line and "0.900" in line for line in lines)
+
+    def test_series_order_respected(self):
+        text = grouped_bars(
+            {"a": {"X": 0.1, "Y": 0.2}}, series_order=["Y", "X"]
+        )
+        y_pos = text.index(" Y")
+        x_pos = text.index(" X")
+        assert y_pos < x_pos
+
+    def test_missing_series_skipped(self):
+        text = grouped_bars({"a": {"X": 0.1}}, series_order=["X", "Z"])
+        assert "Z" not in text
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(
+            ["name", "value"], [["a", 0.5], ["long-name", 1.0]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "0.50" in text
+        assert "1.00" in text
+        # All rows padded to the same width as headers row.
+        assert len(lines[2].rstrip()) <= len(lines[0]) + 12
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[0.123456]], float_format="{:.4f}")
+        assert "0.1235" in text

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListApps:
+    def test_lists_all_suites(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        for fragment in ("spec2000 (26", "mediabench (20", "etch (5", "ptrdist (5"):
+            assert fragment in out
+        assert "galgel" in out
+        assert "high-miss" in out
+
+
+class TestRun:
+    def test_run_prints_stats(self, capsys):
+        assert main(["run", "--app", "eon", "--mechanism", "DP", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "eon" in out
+        assert "acc=" in out
+        assert "misses=" in out
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "--app", "nope", "--scale", "0.05"])
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--app", "eon", "--mechanism", "nope"])
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Distance" in out
+        assert "In Memory" in out
+
+    def test_table3_small_scale(self, capsys):
+        assert main(["table3", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "ammp" in out
+        assert "RP (paper)" in out
+
+
+class TestFigures:
+    def test_figure9_single_panel(self, capsys):
+        assert main(["figure9", "--scale", "0.05", "--panel", "slots"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9b" in out
+        assert "s = 2" in out
+
+
+class TestCharacterize:
+    def test_characterize_subset(self, capsys):
+        assert main(
+            ["characterize", "--app", "galgel", "--app", "eon", "--scale", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "128e-FA" in out
+        assert "galgel" in out
+        # eon's hot set exhibits the documented LRU anomaly at 64e.
+        assert "anomalies" in out
+
+
+class TestValidateCommand:
+    def test_validate_single_app(self, capsys):
+        assert main(["validate", "--app", "eon", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 passed" in out
+
+
+class TestExportTrace:
+    def test_round_trip_via_cli(self, capsys, tmp_path):
+        out_path = str(tmp_path / "eon.npz")
+        assert main(
+            ["export-trace", "--app", "eon", "--out", out_path, "--scale", "0.05"]
+        ) == 0
+        assert main(["run", "--trace-file", out_path, "--mechanism", "DP"]) == 0
+        out = capsys.readouterr().out
+        assert "acc=" in out
+
+
+class TestReportCommand:
+    def test_report_no_figures(self, capsys, tmp_path):
+        out_path = str(tmp_path / "r.md")
+        assert main(
+            ["report", "--out", out_path, "--scale", "0.05", "--no-figures"]
+        ) == 0
+        assert "report written" in capsys.readouterr().out

@@ -1,0 +1,197 @@
+"""Unit tests for the execution-cycle timing model (Table 3 engine)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.costs import TimingParameters
+from repro.cpu.timing import CoreTimeline
+from repro.errors import ConfigurationError
+from repro.mem.trace import NO_EVICTION, MissTrace
+from repro.prefetch.factory import create_prefetcher
+from repro.prefetch.null import NullPrefetcher
+from repro.prefetch.sequential import SequentialPrefetcher
+from repro.sim.cycle import CycleSimConfig, normalized_cycles, simulate_cycles
+
+
+def _miss_trace(pages, ref_index, total, evicted=None):
+    n = len(pages)
+    return MissTrace(
+        pcs=np.zeros(n, dtype=np.int64),
+        pages=np.asarray(pages, dtype=np.int64),
+        evicted=np.asarray(
+            evicted if evicted is not None else [NO_EVICTION] * n, dtype=np.int64
+        ),
+        ref_index=np.asarray(ref_index, dtype=np.int64),
+        total_references=total,
+        name="t",
+    )
+
+
+#: Simple timing: 1 cycle/ref, full stall exposure, no contention.
+SIMPLE = TimingParameters(
+    issue_width=1,
+    instructions_per_reference=1.0,
+    stall_exposure=1.0,
+    walk_contention=0.0,
+)
+
+
+class TestTimingParameters:
+    def test_cycles_per_reference(self):
+        assert TimingParameters().cycles_per_reference == pytest.approx(3.0)
+        assert SIMPLE.cycles_per_reference == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tlb_miss_penalty": -1},
+            {"prefetch_op_cost": -5},
+            {"issue_width": 0},
+            {"instructions_per_reference": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(**kwargs)
+
+
+class TestCoreTimeline:
+    def test_base_advance(self):
+        timeline = CoreTimeline(SIMPLE)
+        assert timeline.advance_to_reference(10) == pytest.approx(10.0)
+
+    def test_stalls_accumulate(self):
+        timeline = CoreTimeline(SIMPLE)
+        timeline.advance_to_reference(10)
+        timeline.stall(100)
+        timeline.stall(-5)  # ignored
+        assert timeline.now == pytest.approx(110.0)
+        assert timeline.finish(20) == pytest.approx(120.0)
+
+
+class TestBaseline:
+    def test_no_prefetch_cycles_are_base_plus_penalties(self):
+        miss_trace = _miss_trace([1, 2], ref_index=[0, 500], total=1000)
+        config = CycleSimConfig(timing=SIMPLE)
+        stats = simulate_cycles(miss_trace, NullPrefetcher(), config)
+        assert stats.total_cycles == pytest.approx(1000 + 2 * 100)
+        assert stats.demand_stall_cycles == pytest.approx(200)
+        assert stats.in_flight_stall_cycles == 0
+        assert stats.memory_ops == 0
+
+    def test_exposure_scales_demand_stalls(self):
+        timing = TimingParameters(
+            issue_width=1, instructions_per_reference=1.0,
+            stall_exposure=0.5, walk_contention=0.0,
+        )
+        miss_trace = _miss_trace([1], ref_index=[0], total=100)
+        stats = simulate_cycles(miss_trace, NullPrefetcher(), CycleSimConfig(timing=timing))
+        assert stats.demand_stall_cycles == pytest.approx(50)
+
+
+class TestPrefetchTiming:
+    def test_timely_prefetch_saves_full_penalty(self):
+        # Misses far apart: page 2's prefetch (issued at the page-1
+        # miss) arrives long before it is needed.
+        miss_trace = _miss_trace([1, 2], ref_index=[0, 500], total=1000)
+        config = CycleSimConfig(timing=SIMPLE)
+        stats = simulate_cycles(miss_trace, SequentialPrefetcher(), config)
+        baseline = simulate_cycles(miss_trace, NullPrefetcher(), config)
+        assert stats.pb_hits == 1
+        # One demand stall (the first miss) remains.
+        assert stats.total_cycles == pytest.approx(baseline.total_cycles - 100)
+
+    def test_in_flight_hit_stalls_until_arrival(self):
+        # Second miss comes 20 cycles after the first; the prefetch
+        # needs 50 (one op) after the first miss's stall completes.
+        miss_trace = _miss_trace([1, 2], ref_index=[0, 20], total=1000)
+        config = CycleSimConfig(timing=SIMPLE)
+        stats = simulate_cycles(miss_trace, SequentialPrefetcher(), config)
+        assert stats.pb_hits == 1
+        # First miss at t=0 stalls 100; prefetch issued at t=100,
+        # arrives t=150. Second miss at base 20 + 100 stall = 120:
+        # waits 30 cycles (capped at the 100-cycle penalty).
+        assert stats.in_flight_stall_cycles == pytest.approx(30)
+
+    def test_in_flight_wait_capped_at_penalty(self):
+        timing = TimingParameters(
+            issue_width=1, instructions_per_reference=1.0,
+            stall_exposure=1.0, walk_contention=0.0,
+            prefetch_op_cost=1000,  # absurdly slow channel
+        )
+        miss_trace = _miss_trace([1, 2], ref_index=[0, 20], total=2000)
+        stats = simulate_cycles(
+            miss_trace, SequentialPrefetcher(), CycleSimConfig(timing=timing)
+        )
+        assert stats.in_flight_stall_cycles <= 100
+
+    def test_queue_serializes_prefetch_ops(self):
+        miss_trace = _miss_trace([1, 10], ref_index=[0, 2], total=100)
+        config = CycleSimConfig(timing=SIMPLE)
+        stats = simulate_cycles(
+            miss_trace, SequentialPrefetcher(degree=2), config
+        )
+        # 2 fetches per miss, second miss's fetches queue behind the
+        # first's: memory ops counted for all four.
+        assert stats.memory_ops == 4
+
+
+class TestRecencyCosts:
+    def test_overhead_ops_execute_and_count(self):
+        rp = create_prefetcher("RP")
+        miss_trace = _miss_trace(
+            [1, 2, 3], ref_index=[0, 400, 800], total=1200,
+            evicted=[10, 11, 12],
+        )
+        config = CycleSimConfig(timing=SIMPLE)
+        stats = simulate_cycles(miss_trace, rp, config)
+        # Every miss pushes an evicted entry (2 ops); later misses also
+        # unlink nothing (pages never on stack) -> 2 ops each.
+        assert stats.memory_ops >= 6
+
+    def test_skip_rule_suppresses_rp_fetches_when_busy(self):
+        # Misses arrive every 10 cycles; pointer ops alone take 200.
+        pages = list(range(1, 30))
+        evicted = list(range(101, 130))
+        ref_index = [i * 10 for i in range(29)]
+        miss_trace = _miss_trace(pages, ref_index=ref_index, total=400, evicted=evicted)
+        config = CycleSimConfig(timing=SIMPLE)
+        rp_stats = simulate_cycles(miss_trace, create_prefetcher("RP"), config)
+        # The stack has no useful neighbours here anyway; the important
+        # observable is that the run completes with bounded queue and
+        # no prefetch fetch ops beyond the pointer writes.
+        assert rp_stats.pb_hits == 0
+
+    def test_walk_contention_charged_only_with_overhead_traffic(self):
+        timing = TimingParameters(
+            issue_width=1, instructions_per_reference=1.0,
+            stall_exposure=1.0, walk_contention=1.0,
+        )
+        config = CycleSimConfig(timing=timing)
+        # Re-missing previously evicted pages forces RP's full 4-op
+        # pointer maintenance per miss; back-to-back misses keep the
+        # write queue busy so the contention charge applies.
+        pages = [1, 2, 3] + [11, 12, 13] * 5
+        evicted = [11, 12, 13] + list(range(21, 36))
+        ref_index = [i * 5 for i in range(len(pages))]
+        miss_trace = _miss_trace(
+            pages, ref_index=ref_index, total=200, evicted=evicted
+        )
+        rp_stats = simulate_cycles(miss_trace, create_prefetcher("RP"), config)
+        dp_stats = simulate_cycles(miss_trace, create_prefetcher("DP", rows=16), config)
+        baseline = simulate_cycles(miss_trace, NullPrefetcher(), config)
+        # RP (with overhead writes) pays contention; DP never does.
+        assert rp_stats.total_cycles > baseline.total_cycles
+        assert dp_stats.demand_stall_cycles <= baseline.demand_stall_cycles
+
+
+class TestNormalization:
+    def test_normalized_cycles(self):
+        miss_trace = _miss_trace([1, 2], ref_index=[0, 500], total=1000)
+        config = CycleSimConfig(timing=SIMPLE)
+        baseline = simulate_cycles(miss_trace, NullPrefetcher(), config)
+        sp = simulate_cycles(miss_trace, SequentialPrefetcher(), config)
+        assert normalized_cycles(sp, baseline) == pytest.approx(
+            sp.total_cycles / baseline.total_cycles
+        )
+        assert normalized_cycles(sp, baseline) < 1.0

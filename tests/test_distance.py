@@ -1,0 +1,116 @@
+"""Unit tests for Distance Prefetching — the paper's contribution."""
+
+from repro.core.distance import DistancePrefetcher
+from repro.prefetch.base import NO_EVICTION
+
+from conftest import drive_misses
+
+
+class TestPaperExamples:
+    def test_reference_string_1_2_4_5_7_8(self):
+        """The paper's running example: distances alternate 1, 2; DP
+        needs only two table rows where MP would need one per page."""
+        dp = DistancePrefetcher(rows=16, slots=2)
+        prefetches = drive_misses(dp, [1, 2, 4, 5, 7, 8, 10, 11, 13])
+        # After one full cycle DP predicts every subsequent reference.
+        # Miss at 7 (distance 2, learned "2 -> 1"): predicts 8.
+        assert 8 in prefetches[4]
+        assert 10 in prefetches[5]   # at 8, distance 1 -> predict +2
+        assert 11 in prefetches[6]
+        assert 13 in prefetches[7]
+        # Two rows suffice: only distances 1 and 2 were ever allocated.
+        assert len(dp.table) == 2
+
+    def test_sequential_scan_needs_one_row(self):
+        dp = DistancePrefetcher(rows=16, slots=2)
+        prefetches = drive_misses(dp, [100, 101, 102, 103, 104])
+        # "1 follows 1" learned after the third miss.
+        assert prefetches[3] == [104]
+        assert prefetches[4] == [105]
+        assert len(dp.table) == 1
+
+    def test_constant_stride_any_value(self):
+        dp = DistancePrefetcher(rows=16, slots=2)
+        prefetches = drive_misses(dp, [0, 7, 14, 21, 28])
+        assert prefetches[3] == [28]
+        assert prefetches[4] == [35]
+
+    def test_first_two_misses_predict_nothing(self):
+        dp = DistancePrefetcher(rows=16)
+        prefetches = drive_misses(dp, [10, 20])
+        assert prefetches == [[], []]
+
+
+class TestDistanceHistory:
+    def test_stride_change_pattern_learned(self):
+        """Behaviour class (d): the stride changes, but the changes
+        themselves repeat — exactly what the distance table captures."""
+        dp = DistancePrefetcher(rows=16, slots=2)
+        # Distance cycle 3, 3, 10 repeating (e.g. row-end jumps).
+        pages = [0, 3, 6, 16, 19, 22, 32, 35, 38, 48]
+        prefetches = drive_misses(dp, pages)
+        # Second cycle onward, the 10-jump is predicted from "3 -> 10"
+        # history (slot holds both 3 and 10 successors of distance 3).
+        assert 32 in prefetches[5]
+        assert 48 in prefetches[8]
+
+    def test_negative_distances(self):
+        dp = DistancePrefetcher(rows=16, slots=2)
+        prefetches = drive_misses(dp, [100, 90, 80, 70])
+        assert prefetches[3] == [60]
+
+    def test_negative_page_targets_suppressed(self):
+        dp = DistancePrefetcher(rows=16, slots=2)
+        prefetches = drive_misses(dp, [30, 20, 10, 0])
+        # Prediction would be -10: filtered out.
+        assert prefetches[3] == []
+
+    def test_slots_hold_two_most_recent_successors(self):
+        dp = DistancePrefetcher(rows=16, slots=2)
+        # distance 1 followed by 2, then 1 followed by 5, then 1 by 9.
+        drive_misses(dp, [0, 1, 3, 4, 9, 10, 19])
+        row = dp.table.peek(1)
+        assert row.values() == [9, 5]  # 2 evicted (LRU), MRU first
+
+    def test_table_conflict_behavior(self):
+        dp = DistancePrefetcher(rows=4, slots=2)  # direct mapped, 4 sets
+        # Distances 1 and 5 collide (1 % 4 == 5 % 4).
+        drive_misses(dp, [0, 1, 2])        # allocates distance 1
+        assert dp.table.peek(1) is not None
+        drive_misses(dp, [100, 105, 110])  # allocates distance 5 (+100 jump)
+        assert dp.table.peek(1) is None    # evicted by conflict
+
+
+class TestBookkeeping:
+    def test_prediction_read_before_update(self):
+        """Fig 6 order: the table is consulted for the current distance
+        before the previous distance's slots are updated."""
+        dp = DistancePrefetcher(rows=16, slots=2)
+        # Distances: 2 (from 10->12), then 2 again (12->14). At the
+        # second distance-2 miss, "2 -> 2" has NOT yet been recorded
+        # (the update stores 2 as successor of the previous distance
+        # at the same step), so nothing is predicted yet.
+        prefetches = drive_misses(dp, [10, 12, 14])
+        assert prefetches[2] == []
+        # Next miss at 16: now "2 -> 2" is in the table.
+        assert drive_misses(dp, [16])[0] == [18]
+
+    def test_flush_resets_state(self):
+        dp = DistancePrefetcher(rows=16)
+        drive_misses(dp, [0, 1, 2, 3])
+        dp.flush()
+        assert len(dp.table) == 0
+        assert drive_misses(dp, [50, 51, 52]) [0] == []
+
+    def test_statistics(self):
+        dp = DistancePrefetcher(rows=16)
+        drive_misses(dp, [0, 1, 2, 3, 4])
+        assert dp.prefetches_issued == 2  # misses 4 and 5 predicted
+        assert dp.overhead_ops_total == 0
+
+    def test_label_and_hardware(self):
+        dp = DistancePrefetcher(rows=64, ways=0)
+        assert dp.label == "DP,64,F"
+        desc = dp.describe_hardware()
+        assert desc.index_source == "Distance"
+        assert desc.memory_ops_per_miss == 0

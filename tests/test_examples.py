@@ -1,0 +1,46 @@
+"""Smoke tests: the shipped examples must stay runnable.
+
+Each example is executed as a real subprocess (the way a user runs it)
+with a short timeout; only the fast ones are exercised to keep the
+suite quick — the heavier examples share all their code paths with the
+benchmarks.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    ("quickstart.py", [], "DP"),
+    ("learning_curves.py", ["galgel", "700"], "reaches half"),
+    ("multiprogramming.py", ["40000"], "context switches"),
+]
+
+
+@pytest.mark.parametrize("script,args,expected", FAST_EXAMPLES)
+def test_example_runs(script, args, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert expected in result.stdout
+
+
+def test_all_examples_present():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "compare_prefetchers.py",
+        "custom_workload.py",
+        "tuning_sweep.py",
+        "cycle_model.py",
+        "learning_curves.py",
+        "multiprogramming.py",
+    } <= scripts

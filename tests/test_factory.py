@@ -1,0 +1,61 @@
+"""Unit tests for the prefetcher factory."""
+
+import pytest
+
+from repro.core.distance import DistancePrefetcher
+from repro.errors import UnknownPrefetcherError
+from repro.prefetch.factory import (
+    PREFETCHER_NAMES,
+    create_prefetcher,
+    default_prefetcher_suite,
+)
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.null import NullPrefetcher
+from repro.prefetch.recency import RecencyPrefetcher
+from repro.prefetch.sequential import SequentialPrefetcher
+from repro.prefetch.stride import ArbitraryStridePrefetcher
+
+
+class TestFactory:
+    def test_all_registered_names_buildable(self):
+        for name in PREFETCHER_NAMES:
+            prefetcher = create_prefetcher(name)
+            assert prefetcher is not None
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(UnknownPrefetcherError) as excinfo:
+            create_prefetcher("bogus")
+        assert "bogus" in str(excinfo.value)
+        assert "DP" in str(excinfo.value)
+
+    def test_parameters_forwarded(self):
+        dp = create_prefetcher("DP", rows=64, ways=4, slots=6)
+        assert isinstance(dp, DistancePrefetcher)
+        assert dp.table.rows == 64
+        assert dp.table.ways == 4
+        assert dp.slots == 6
+
+    def test_irrelevant_parameters_ignored(self):
+        sp = create_prefetcher("SP", rows=1024, slots=8)
+        assert isinstance(sp, SequentialPrefetcher)
+        assert sp.degree == 1
+
+    def test_rp_variant(self):
+        rp = create_prefetcher("RP", variant_three=True)
+        assert isinstance(rp, RecencyPrefetcher)
+        assert rp.variant_three
+
+    def test_none_builds_null(self):
+        assert isinstance(create_prefetcher("none"), NullPrefetcher)
+
+    def test_default_suite_composition(self):
+        suite = default_prefetcher_suite(rows=128)
+        types = [type(p) for p in suite]
+        assert types == [
+            RecencyPrefetcher,
+            MarkovPrefetcher,
+            DistancePrefetcher,
+            ArbitraryStridePrefetcher,
+        ]
+        assert suite[1].table.rows == 128
+        assert suite[2].table.rows == 128

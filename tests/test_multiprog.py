@@ -1,0 +1,89 @@
+"""Tests for the multiprogrammed (context-switching) study."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prefetch.factory import create_prefetcher
+from repro.sim.config import SimulationConfig, TLBConfig
+from repro.sim.multiprog import (
+    FLUSH_POLICIES,
+    compare_policies,
+    simulate_multiprogrammed,
+)
+from repro.workloads.registry import get_trace
+
+from conftest import make_trace
+
+
+def _dp_factory():
+    return create_prefetcher("DP", rows=256)
+
+
+class TestValidation:
+    def test_bad_policy(self):
+        with pytest.raises(ConfigurationError):
+            simulate_multiprogrammed([make_trace([1])], _dp_factory, policy="bogus")
+
+    def test_bad_quantum(self):
+        with pytest.raises(ConfigurationError):
+            simulate_multiprogrammed([make_trace([1])], _dp_factory, quantum=0)
+
+    def test_no_traces(self):
+        with pytest.raises(ConfigurationError):
+            simulate_multiprogrammed([], _dp_factory)
+
+
+class TestScheduling:
+    def test_single_process_no_switches(self):
+        trace = make_trace(list(range(100)))
+        stats = simulate_multiprogrammed([trace], _dp_factory, quantum=10)
+        assert stats.context_switches == 0
+        assert stats.total_references == 100
+
+    def test_two_processes_switch(self):
+        traces = [make_trace(list(range(50))), make_trace(list(range(50)))]
+        stats = simulate_multiprogrammed(traces, _dp_factory, quantum=10)
+        assert stats.context_switches >= 9
+        assert stats.total_references == 100
+
+    def test_address_spaces_disjoint(self):
+        """Identical page numbers in different processes must not share
+        TLB entries: every quantum restart re-misses its pages."""
+        traces = [make_trace([1, 1, 1]), make_trace([1, 1, 1])]
+        stats = simulate_multiprogrammed(
+            traces, _dp_factory, quantum=100,
+            config=SimulationConfig(tlb=TLBConfig(entries=64)),
+        )
+        # One compulsory miss per process despite equal page numbers.
+        assert stats.tlb_misses == 2
+
+
+class TestPolicies:
+    @pytest.fixture(scope="class")
+    def mixes(self):
+        return [get_trace("galgel", 0.05), get_trace("facerec", 0.05)]
+
+    def test_all_policies_run(self, mixes):
+        results = compare_policies(mixes, _dp_factory, quantum=5000)
+        assert set(results) == set(FLUSH_POLICIES)
+        for stats in results.values():
+            assert 0.0 <= stats.prediction_accuracy <= 1.0
+            assert stats.context_switches > 0
+
+    def test_per_process_at_least_as_good_as_flush(self, mixes):
+        """Saved/restored tables never lose to cold-started ones on
+        strided workloads (warm state survives the switch)."""
+        results = compare_policies(mixes, _dp_factory, quantum=5000)
+        assert (
+            results["per_process"].prediction_accuracy
+            >= results["flush"].prediction_accuracy - 0.02
+        )
+
+    def test_rp_policy_invariant(self, mixes):
+        """RP's state lives in per-process page tables, so the flush
+        policy must not change its accuracy."""
+        results = compare_policies(
+            mixes, lambda: create_prefetcher("RP"), quantum=5000
+        )
+        accuracies = {s.prediction_accuracy for s in results.values()}
+        assert max(accuracies) - min(accuracies) < 1e-9

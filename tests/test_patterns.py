@@ -1,0 +1,275 @@
+"""Unit tests for the workload pattern primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.trace import ReferenceTrace
+from repro.sim.config import TLBConfig
+from repro.sim.two_phase import filter_tlb
+from repro.workloads.patterns import (
+    ChangingStrideSweep,
+    Concat,
+    DistanceCycleScan,
+    HotSetLoop,
+    InterleavedStreams,
+    MarkovAlternation,
+    PermutationWalk,
+    RandomWalk,
+    RoundRobinMix,
+    StridedSweep,
+    WithHotTraffic,
+    WithNoise,
+    draw_counts,
+)
+
+
+def _trace(pattern, seed=7) -> ReferenceTrace:
+    rng = np.random.default_rng(seed)
+    pcs, pages, counts = pattern.emit(rng)
+    return ReferenceTrace(pcs, pages, counts)
+
+
+class TestDrawCounts:
+    def test_integer_mean_is_exact(self, rng):
+        counts = draw_counts(rng, 1000, 3.0)
+        assert (counts == 3).all()
+
+    def test_fractional_mean_approximated(self, rng):
+        counts = draw_counts(rng, 20000, 2.5)
+        assert counts.min() >= 1
+        assert abs(counts.mean() - 2.5) < 0.05
+
+    def test_rejects_below_one(self, rng):
+        with pytest.raises(ConfigurationError):
+            draw_counts(rng, 10, 0.5)
+
+
+class TestStridedSweep:
+    def test_pages_and_repeats(self):
+        trace = _trace(StridedSweep(pc=1, base=100, count=4, stride=2, sweeps=2))
+        assert trace.pages.tolist() == [100, 102, 104, 106] * 2
+        assert (trace.pcs == 1).all()
+
+    def test_negative_stride_stays_non_negative(self):
+        trace = _trace(StridedSweep(pc=1, base=0, count=5, stride=-3))
+        assert trace.pages.min() >= 0
+        deltas = np.diff(trace.pages)
+        assert (deltas == -3).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StridedSweep(pc=1, base=0, count=0)
+        with pytest.raises(ConfigurationError):
+            StridedSweep(pc=1, base=0, count=4, stride=0)
+
+
+class TestChangingStrideSweep:
+    def test_segments_use_each_stride(self):
+        pattern = ChangingStrideSweep(
+            pc=1, base=0, segment_pages=3, strides=[1, 4]
+        )
+        trace = _trace(pattern)
+        deltas = np.diff(trace.pages[:3])
+        assert (deltas == 1).all()
+        deltas2 = np.diff(trace.pages[3:6])
+        assert (deltas2 == 4).all()
+
+    def test_segments_do_not_overlap(self):
+        pattern = ChangingStrideSweep(pc=1, base=0, segment_pages=5, strides=[2, 3])
+        trace = _trace(pattern)
+        assert trace.footprint_pages == 10
+
+
+class TestInterleavedStreams:
+    def test_round_robin_order(self):
+        pattern = InterleavedStreams(
+            pc=1, streams=[(0, 1), (1000, 1)], length=3
+        )
+        trace = _trace(pattern)
+        assert trace.pages.tolist() == [0, 1000, 1, 1001, 2, 1002]
+
+    def test_shared_pc_pool_rotates(self):
+        pattern = InterleavedStreams(
+            pc=16, streams=[(0, 1), (1000, 1)], length=2, pc_pool=2
+        )
+        trace = _trace(pattern)
+        assert trace.pcs.tolist() == [16, 17, 16, 17]
+
+    def test_per_stream_pcs(self):
+        pattern = InterleavedStreams(
+            pc=16, streams=[(0, 1), (1000, 1)], length=2, shared_pcs=False
+        )
+        trace = _trace(pattern)
+        assert trace.pcs.tolist() == [16, 17, 16, 17]
+
+    def test_distance_cycle_in_miss_stream(self):
+        """The defining property: distances between consecutive misses
+        cycle through the inter-stream gaps."""
+        pattern = InterleavedStreams(
+            pc=1, streams=[(0, 1), (500, 1), (900, 1)], length=50
+        )
+        trace = _trace(pattern)
+        miss_trace = filter_tlb(trace, TLBConfig(entries=8))
+        distances = np.diff(miss_trace.pages)
+        unique = sorted(set(distances.tolist()))
+        assert unique == [-899, 400, 500]  # wrap, gap A->B, gap B->C
+
+
+class TestDistanceCycleScan:
+    def test_follows_cycle(self):
+        pattern = DistanceCycleScan(pc=1, base=10, cycle=[1, 2], steps=5)
+        trace = _trace(pattern)
+        assert trace.pages.tolist() == [10, 11, 13, 14, 16]
+
+    def test_mixed_sign_cycle_stays_non_negative(self):
+        pattern = DistanceCycleScan(pc=1, base=0, cycle=[2, -5], steps=8)
+        trace = _trace(pattern)
+        assert trace.pages.min() >= 0
+
+    def test_rejects_zero_distance(self):
+        with pytest.raises(ConfigurationError):
+            DistanceCycleScan(pc=1, base=0, cycle=[1, 0], steps=4)
+
+
+class TestPermutationWalk:
+    def test_fixed_permutation_repeats_exactly(self):
+        pattern = PermutationWalk(pc=1, base=0, count=10, sweeps=2)
+        trace = _trace(pattern)
+        first = trace.pages[:10].tolist()
+        second = trace.pages[10:].tolist()
+        assert first == second
+        assert sorted(first) == list(range(10))
+
+    def test_reshuffle_changes_order(self):
+        pattern = PermutationWalk(
+            pc=1, base=0, count=50, sweeps=2, reshuffle_each_sweep=True
+        )
+        trace = _trace(pattern)
+        assert trace.pages[:50].tolist() != trace.pages[50:].tolist()
+
+    def test_deterministic_for_seed(self):
+        pattern = PermutationWalk(pc=1, base=0, count=20, sweeps=1)
+        assert _trace(pattern, seed=3).pages.tolist() == _trace(pattern, seed=3).pages.tolist()
+
+
+class TestMarkovAlternation:
+    def test_core_only_rounds_mode(self):
+        pattern = MarkovAlternation(
+            pc=1, base=0, core_count=4, batches=1, rounds=2,
+            permute_core=False, core_only_rounds=True,
+        )
+        trace = _trace(pattern)
+        # Round 0: core alone; round 1: core interleaved with batch.
+        assert trace.pages[:4].tolist() == [0, 1, 2, 3]
+        assert trace.pages[4:12].tolist() == [0, 4, 1, 5, 2, 6, 3, 7]
+
+    def test_always_interleaved_rotates_batches(self):
+        pattern = MarkovAlternation(
+            pc=1, base=0, core_count=2, batches=2, rounds=2,
+            permute_core=False, core_only_rounds=False,
+        )
+        trace = _trace(pattern)
+        assert trace.pages[:4].tolist() == [0, 2, 1, 3]   # batch 0
+        assert trace.pages[4:8].tolist() == [0, 4, 1, 5]  # batch 1
+
+    def test_permuted_core_covers_same_pages(self):
+        pattern = MarkovAlternation(
+            pc=1, base=0, core_count=8, batches=1, rounds=1, permute_core=True
+        )
+        trace = _trace(pattern)
+        assert sorted(trace.pages.tolist()) == list(range(8))
+
+
+class TestHotSetLoop:
+    def test_laps_repeat(self):
+        pattern = HotSetLoop(pc=1, base=0, count=4, laps=3)
+        trace = _trace(pattern)
+        assert trace.num_runs == 12
+        assert trace.footprint_pages == 4
+
+    def test_permuted_lap_fixed_across_laps(self):
+        pattern = HotSetLoop(pc=1, base=0, count=8, laps=2, permute=True)
+        trace = _trace(pattern)
+        assert trace.pages[:8].tolist() == trace.pages[8:].tolist()
+        assert trace.pages[:8].tolist() != list(range(8))
+
+
+class TestWrappers:
+    def test_hot_traffic_preserves_miss_stream(self):
+        """The load-bearing property: hot-set dilution must not change
+        which pages miss, only the reference count between misses."""
+        inner = StridedSweep(pc=1, base=0, count=50, refs_per_page=2.0, sweeps=3)
+        diluted = WithHotTraffic(
+            inner, hot_pc=99, hot_base=10_000, hot_pages=8, hot_refs_per_run=20.0
+        )
+        plain_misses = filter_tlb(_trace(inner), TLBConfig(entries=16))
+        diluted_misses = filter_tlb(_trace(diluted), TLBConfig(entries=16))
+        plain_pages = plain_misses.pages.tolist()
+        diluted_pages = [p for p in diluted_misses.pages.tolist() if p < 10_000]
+        assert diluted_pages == plain_pages
+
+    def test_hot_traffic_dilutes_miss_rate(self):
+        inner = StridedSweep(pc=1, base=0, count=50, refs_per_page=2.0, sweeps=3)
+        diluted = WithHotTraffic(
+            inner, hot_pc=99, hot_base=10_000, hot_pages=8, hot_refs_per_run=20.0
+        )
+        plain = filter_tlb(_trace(inner), TLBConfig(entries=16))
+        dil = filter_tlb(_trace(diluted), TLBConfig(entries=16))
+        assert dil.miss_rate < plain.miss_rate / 5
+
+    def test_burst_every_groups_inner_runs(self):
+        inner = StridedSweep(pc=1, base=0, count=12, sweeps=1)
+        bursty = WithHotTraffic(
+            inner, hot_pc=99, hot_base=10_000, hot_pages=4,
+            hot_refs_per_run=10.0, burst_every=4,
+        )
+        trace = _trace(bursty)
+        # 12 inner runs + 3 hot runs interleaved after every 4th.
+        assert trace.num_runs == 15
+        assert trace.pages[4] >= 10_000
+        # Hot reference volume is preserved on average (4 * 10 per gap).
+        hot_counts = trace.counts[trace.pages >= 10_000]
+        assert abs(hot_counts.mean() - 40.0) < 15.0
+
+    def test_noise_injects_expected_fraction(self):
+        inner = StridedSweep(pc=1, base=0, count=2000, sweeps=1)
+        noisy = WithNoise(
+            inner, fraction=0.2, noise_pc=99, noise_base=1_000_000
+        )
+        trace = _trace(noisy)
+        noise_runs = int((trace.pages >= 1_000_000).sum())
+        assert 300 < noise_runs < 500
+
+    def test_zero_noise_is_identity(self):
+        inner = StridedSweep(pc=1, base=0, count=10, sweeps=1)
+        noisy = WithNoise(inner, fraction=0.0, noise_pc=99, noise_base=1_000_000)
+        assert _trace(noisy).pages.tolist() == _trace(inner).pages.tolist()
+
+
+class TestCombinators:
+    def test_concat_orders_phases(self):
+        a = StridedSweep(pc=1, base=0, count=3)
+        b = StridedSweep(pc=2, base=100, count=2)
+        trace = _trace(Concat(a, b))
+        assert trace.pages.tolist() == [0, 1, 2, 100, 101]
+
+    def test_round_robin_mix_preserves_all_runs(self):
+        a = StridedSweep(pc=1, base=0, count=10)
+        b = StridedSweep(pc=2, base=100, count=25)
+        trace = _trace(RoundRobinMix([a, b], burst_runs=4))
+        assert trace.num_runs == 35
+        assert sorted(trace.pages.tolist()) == sorted(
+            list(range(10)) + list(range(100, 125))
+        )
+
+    def test_round_robin_alternates_in_bursts(self):
+        a = StridedSweep(pc=1, base=0, count=8)
+        b = StridedSweep(pc=2, base=100, count=8)
+        trace = _trace(RoundRobinMix([a, b], burst_runs=2))
+        assert trace.pages[:6].tolist() == [0, 1, 100, 101, 2, 3]
+
+    def test_random_walk_footprint_bounded(self):
+        trace = _trace(RandomWalk(pc=1, base=50, count=20, steps=500))
+        assert trace.pages.min() >= 50
+        assert trace.pages.max() < 70

@@ -1,0 +1,102 @@
+"""Unit and property tests for the prefetch buffer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.tlb.prefetch_buffer import PrefetchBuffer
+
+
+class TestBasics:
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            PrefetchBuffer(0)
+
+    def test_hit_removes_entry(self):
+        buffer = PrefetchBuffer(4)
+        buffer.insert(10)
+        assert buffer.lookup_remove(10)
+        assert 10 not in buffer
+        # A second lookup for the same page now misses.
+        assert not buffer.lookup_remove(10)
+        assert buffer.hits == 1
+        assert buffer.lookups == 2
+
+    def test_lru_eviction_counts_unused(self):
+        buffer = PrefetchBuffer(2)
+        buffer.insert(1)
+        buffer.insert(2)
+        buffer.insert(3)  # evicts 1, never used
+        assert 1 not in buffer
+        assert buffer.evicted_unused == 1
+
+    def test_reinsert_refreshes_lru(self):
+        buffer = PrefetchBuffer(2)
+        buffer.insert(1)
+        buffer.insert(2)
+        buffer.insert(1)  # refresh: 2 becomes LRU
+        assert buffer.refreshed == 1
+        buffer.insert(3)
+        assert 2 not in buffer
+        assert 1 in buffer
+
+    def test_flush_counts_as_unused(self):
+        buffer = PrefetchBuffer(4)
+        buffer.insert(1)
+        buffer.insert(2)
+        assert buffer.flush() == 2
+        assert buffer.evicted_unused == 2
+        assert len(buffer) == 0
+
+    def test_hit_rate(self):
+        buffer = PrefetchBuffer(4)
+        buffer.insert(1)
+        buffer.lookup_remove(1)
+        buffer.lookup_remove(2)
+        assert buffer.hit_rate == pytest.approx(0.5)
+
+    def test_resident_pages_lru_first(self):
+        buffer = PrefetchBuffer(3)
+        for page in (5, 6, 7):
+            buffer.insert(page)
+        buffer.insert(5)  # refresh 5 to MRU
+        assert buffer.resident_pages() == [6, 7, 5]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=15)),
+        min_size=1,
+        max_size=300,
+    ),
+    capacity=st.sampled_from([1, 2, 4, 8]),
+)
+def test_buffer_matches_reference_model(ops, capacity):
+    """Property: buffer == LRU dict with remove-on-hit semantics."""
+    buffer = PrefetchBuffer(capacity)
+    model: list[int] = []  # LRU first
+    for is_insert, page in ops:
+        if is_insert:
+            buffer.insert(page)
+            if page in model:
+                model.remove(page)
+            elif len(model) >= capacity:
+                model.pop(0)
+            model.append(page)
+        else:
+            hit = buffer.lookup_remove(page)
+            assert hit == (page in model)
+            if hit:
+                model.remove(page)
+    assert buffer.resident_pages() == model
+
+
+@settings(max_examples=40, deadline=None)
+@given(pages=st.lists(st.integers(min_value=0, max_value=50), max_size=200))
+def test_buffer_never_exceeds_capacity(pages):
+    buffer = PrefetchBuffer(4)
+    for page in pages:
+        buffer.insert(page)
+        assert len(buffer) <= 4

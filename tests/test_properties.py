@@ -1,0 +1,164 @@
+"""Cross-cutting property tests for the simulation contracts.
+
+These pin the invariants the whole methodology rests on, beyond the
+module-level tests:
+
+- **RLE exactness** — re-encoding a trace's runs (splitting or merging
+  consecutive same-page runs) never changes the TLB miss stream.
+- **Oracle dominance** — no mechanism beats future knowledge under the
+  same buffer and issue budget.
+- **Rescale conservation** — page-size rescaling preserves reference
+  counts and is the identity at 4 KiB.
+- **Cycle-model sanity** — the no-prefetch baseline equals base cycles
+  plus exposed penalties for any miss spacing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.trace import ReferenceTrace
+from repro.prefetch.factory import PREFETCHER_NAMES, create_prefetcher
+from repro.prefetch.null import NullPrefetcher
+from repro.sim.config import TLBConfig
+from repro.sim.cycle import CycleSimConfig, simulate_cycles
+from repro.sim.oracle import replay_oracle
+from repro.sim.sweep import rescale_trace
+from repro.sim.two_phase import filter_tlb, replay_prefetcher
+from repro.cpu.costs import TimingParameters
+
+
+@st.composite
+def rle_traces(draw):
+    n = draw(st.integers(min_value=1, max_value=80))
+    pages = draw(st.lists(st.integers(0, 20), min_size=n, max_size=n))
+    counts = draw(st.lists(st.integers(1, 5), min_size=n, max_size=n))
+    return ReferenceTrace([0] * n, pages, counts, name="rle")
+
+
+def _split_runs(trace: ReferenceTrace, rng: np.random.Generator) -> ReferenceTrace:
+    """Re-encode: randomly split runs with count > 1 into two runs."""
+    pcs, pages, counts = [], [], []
+    for pc, page, count in zip(
+        trace.pcs.tolist(), trace.pages.tolist(), trace.counts.tolist()
+    ):
+        if count > 1 and rng.random() < 0.5:
+            left = int(rng.integers(1, count))
+            pcs += [pc, pc]
+            pages += [page, page]
+            counts += [left, count - left]
+        else:
+            pcs.append(pc)
+            pages.append(page)
+            counts.append(count)
+    return ReferenceTrace(pcs, pages, counts, name=trace.name)
+
+
+def _merge_runs(trace: ReferenceTrace) -> ReferenceTrace:
+    """Re-encode: merge adjacent runs touching the same page."""
+    pcs, pages, counts = [], [], []
+    for pc, page, count in zip(
+        trace.pcs.tolist(), trace.pages.tolist(), trace.counts.tolist()
+    ):
+        if pages and pages[-1] == page:
+            counts[-1] += count
+        else:
+            pcs.append(pc)
+            pages.append(page)
+            counts.append(count)
+    return ReferenceTrace(pcs, pages, counts, name=trace.name)
+
+
+@settings(max_examples=50, deadline=None)
+@given(trace=rle_traces(), seed=st.integers(0, 2**16))
+def test_rle_reencoding_preserves_miss_stream(trace, seed):
+    """The RLE contract: any equivalent run encoding of the same
+    reference sequence yields the identical miss stream."""
+    config = TLBConfig(entries=4)
+    reference = filter_tlb(trace, config)
+    split = filter_tlb(_split_runs(trace, np.random.default_rng(seed)), config)
+    merged = filter_tlb(_merge_runs(trace), config)
+    for other in (split, merged):
+        assert other.pages.tolist() == reference.pages.tolist()
+        assert other.evicted.tolist() == reference.evicted.tolist()
+        assert other.total_references == reference.total_references
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=rle_traces(), mechanism=st.sampled_from(sorted(PREFETCHER_NAMES)))
+def test_oracle_dominates_every_mechanism(trace, mechanism):
+    miss_trace = filter_tlb(trace, TLBConfig(entries=4))
+    ceiling = replay_oracle(
+        miss_trace, lookahead=2, buffer_entries=4
+    ).prediction_accuracy
+    accuracy = replay_prefetcher(
+        miss_trace,
+        create_prefetcher(mechanism, rows=16),
+        buffer_entries=4,
+        max_prefetches_per_miss=2,
+    ).prediction_accuracy
+    assert accuracy <= ceiling + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(trace=rle_traces(), shift=st.sampled_from([4096, 8192, 16384, 65536]))
+def test_rescale_conserves_references(trace, shift):
+    rescaled = rescale_trace(trace, shift)
+    assert rescaled.total_references == trace.total_references
+    if shift == 4096:
+        assert rescaled is trace
+    else:
+        # Page mapping is the exact right shift.
+        assert rescaled.pages.max() <= trace.pages.max()
+
+
+@settings(max_examples=50, deadline=None)
+@given(trace=rle_traces())
+def test_rescaled_miss_count_never_increases(trace):
+    """Bigger pages can only merge footprints: misses cannot grow."""
+    config = TLBConfig(entries=4)
+    base = filter_tlb(trace, config).num_misses
+    bigger = filter_tlb(rescale_trace(trace, 8192), config).num_misses
+    assert bigger <= base
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    gaps=st.lists(st.integers(1, 400), min_size=1, max_size=40),
+    exposure=st.sampled_from([1.0, 0.5, 2.0 / 3.0]),
+)
+def test_baseline_cycles_closed_form(gaps, exposure):
+    """No-prefetch cycles = base + misses × exposed penalty, exactly,
+    for any miss spacing and exposure factor."""
+    from repro.mem.trace import MissTrace, NO_EVICTION
+
+    ref_index = np.cumsum([0] + gaps[:-1]).astype(np.int64)
+    n = len(gaps)
+    miss_trace = MissTrace(
+        pcs=np.zeros(n, dtype=np.int64),
+        pages=np.arange(n, dtype=np.int64),
+        evicted=np.full(n, NO_EVICTION, dtype=np.int64),
+        ref_index=ref_index,
+        total_references=int(ref_index[-1]) + 10,
+        name="t",
+    )
+    timing = TimingParameters(
+        issue_width=1, instructions_per_reference=1.0,
+        stall_exposure=exposure, walk_contention=0.0,
+    )
+    stats = simulate_cycles(miss_trace, NullPrefetcher(), CycleSimConfig(timing=timing))
+    expected = miss_trace.total_references * 1.0 + n * exposure * 100
+    assert stats.total_cycles == pytest.approx(expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=rle_traces())
+def test_warmup_never_counts_more_hits_than_misses(trace):
+    config = TLBConfig(entries=4)
+    miss_trace = filter_tlb(trace, config, warmup_fraction=0.4)
+    stats = replay_prefetcher(
+        miss_trace, create_prefetcher("DP", rows=16), buffer_entries=4
+    )
+    assert stats.pb_hits <= stats.measured_misses
+    assert stats.measured_misses <= stats.tlb_misses

@@ -1,0 +1,56 @@
+"""The public API surface resolves and errors behave as documented."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    TraceError,
+    UnknownPrefetcherError,
+    UnknownWorkloadError,
+)
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_snippet_works(self):
+        """The module docstring's quickstart must actually run."""
+        trace = repro.get_trace("galgel", scale=0.02)
+        stats = repro.evaluate(trace, repro.DistancePrefetcher(rows=256))
+        assert stats.prediction_accuracy > 0.9
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (
+            ConfigurationError,
+            TraceError,
+            UnknownPrefetcherError,
+            UnknownWorkloadError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_unknown_errors_are_key_errors(self):
+        assert issubclass(UnknownWorkloadError, KeyError)
+        assert issubclass(UnknownPrefetcherError, KeyError)
+
+    def test_unknown_workload_lists_candidates(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            repro.get_app("nope")
+        assert "known:" in str(excinfo.value)
+
+    def test_single_except_catches_everything(self):
+        with pytest.raises(ReproError):
+            repro.TLB(entries=-1)
+        with pytest.raises(ReproError):
+            repro.get_trace("missing-app")

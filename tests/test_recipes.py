@@ -1,0 +1,108 @@
+"""Tests for the workload recipe factories."""
+
+import numpy as np
+import pytest
+
+from repro.mem.trace import ReferenceTrace
+from repro.sim.config import TLBConfig
+from repro.sim.two_phase import filter_tlb
+from repro.workloads import recipes
+
+
+def _trace(builder, scale=0.2, seed=11) -> ReferenceTrace:
+    pattern = builder(scale)
+    rng = np.random.default_rng(seed)
+    pcs, pages, counts = pattern.emit(rng)
+    return ReferenceTrace(pcs, pages, counts)
+
+
+class TestStridedRepeated:
+    def test_miss_rate_tracks_refs_per_page(self):
+        builder = recipes.strided_repeated(footprint=300, refs_per_page=4.0, sweeps=50)
+        miss_trace = filter_tlb(_trace(builder), TLBConfig(entries=128))
+        assert miss_trace.miss_rate == pytest.approx(0.25, abs=0.02)
+
+    def test_hot_dilution_reduces_rate(self):
+        plain = recipes.strided_repeated(footprint=300, refs_per_page=4.0, sweeps=50)
+        diluted = recipes.strided_repeated(
+            footprint=300, refs_per_page=4.0, sweeps=50, hot=(24, 36.0)
+        )
+        rate_plain = filter_tlb(_trace(plain)).miss_rate
+        rate_diluted = filter_tlb(_trace(diluted)).miss_rate
+        assert rate_diluted == pytest.approx(rate_plain / 10, rel=0.25)
+
+    def test_burst_factor_in_hot_spec(self):
+        builder = recipes.strided_repeated(
+            footprint=100, refs_per_page=2.0, sweeps=10, hot=(24, 30.0, 4)
+        )
+        trace = _trace(builder)
+        # Hot runs inserted after every 4th inner run.
+        hot_runs = int((trace.pages >= 30_000_000).sum())
+        inner_runs = trace.num_runs - hot_runs
+        assert hot_runs == inner_runs // 4
+
+
+class TestOneTouch:
+    def test_pages_never_revisited(self):
+        builder = recipes.one_touch_strided(
+            segment_pages=200, strides=[1, 2], refs_per_page=2.0,
+            repeats=3, noise=0.0,
+        )
+        trace = _trace(builder, scale=1.0)
+        pages = trace.pages.tolist()
+        assert len(set(pages)) == len(pages)
+
+    def test_noise_adds_separate_region(self):
+        builder = recipes.one_touch_strided(
+            segment_pages=400, strides=[1], refs_per_page=2.0,
+            repeats=2, noise=0.2,
+        )
+        trace = _trace(builder, scale=1.0)
+        noise_runs = int((trace.pages >= 40_000_000).sum())
+        assert noise_runs > 0
+
+
+class TestInterleavedStreams:
+    def test_asp_side_stream_has_own_pc(self):
+        builder = recipes.interleaved_stream_app(
+            num_streams=3, stream_gap=100_000, length=500,
+            refs_per_page=2.0, asp_side_pages=100, asp_side_sweeps=2,
+            noise=0.0,
+        )
+        trace = _trace(builder)
+        pcs = set(trace.pcs.tolist())
+        assert 0x5000 in pcs  # the side stream's private PC block
+
+
+class TestLowMiss:
+    def test_miss_rate_is_tiny(self):
+        builder = recipes.low_miss_app(
+            hot_pages=48, laps=500, cold_pages=200, cold_steps=50
+        )
+        miss_trace = filter_tlb(_trace(builder, scale=1.0))
+        assert miss_trace.miss_rate < 0.002
+
+
+class TestDpOnly:
+    def test_cycle_share_bounds_dp_headroom(self):
+        builder = recipes.dp_only_app(
+            random_footprint=500, random_steps=4000,
+            cycle=[1, 4], cycle_steps=1000, refs_per_page=2.0,
+        )
+        miss_trace = filter_tlb(_trace(builder, scale=1.0))
+        # Roughly a fifth of the misses are the predictable bursts.
+        assert 3500 < miss_trace.num_misses < 6000
+
+
+class TestMixed:
+    def test_mixed_app_interleaves_builders(self):
+        builder = recipes.mixed_app(
+            [
+                recipes.strided_repeated(footprint=50, refs_per_page=2.0, sweeps=4),
+                recipes.random_touch(footprint=50, steps=100, refs_per_page=2.0),
+            ],
+            burst_runs=8,
+        )
+        trace = _trace(builder, scale=1.0)
+        # Both sub-patterns contribute runs.
+        assert trace.num_runs == 300

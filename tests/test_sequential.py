@@ -1,0 +1,38 @@
+"""Unit tests for tagged Sequential Prefetching (SP)."""
+
+import pytest
+
+from repro.prefetch.base import NO_EVICTION
+from repro.prefetch.sequential import SequentialPrefetcher
+
+
+class TestSequential:
+    def test_prefetches_next_page_on_every_miss(self):
+        sp = SequentialPrefetcher()
+        assert sp.on_miss(0, 10, NO_EVICTION, False) == [11]
+        assert sp.on_miss(0, 42, NO_EVICTION, True) == [43]
+
+    def test_degree(self):
+        sp = SequentialPrefetcher(degree=3)
+        assert sp.on_miss(0, 10, NO_EVICTION, False) == [11, 12, 13]
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            SequentialPrefetcher(degree=0)
+
+    def test_statistics(self):
+        sp = SequentialPrefetcher()
+        sp.on_miss(0, 1, NO_EVICTION, False)
+        sp.on_miss(0, 2, NO_EVICTION, False)
+        assert sp.prefetches_issued == 2
+        assert sp.overhead_ops_total == 0
+        assert sp.last_overhead_ops == 0
+
+    def test_labels(self):
+        assert SequentialPrefetcher().label == "SP"
+        assert SequentialPrefetcher(degree=2).label == "SP,k=2"
+
+    def test_hardware_description(self):
+        desc = SequentialPrefetcher().describe_hardware()
+        assert desc.memory_ops_per_miss == 0
+        assert desc.location == "On-Chip"

@@ -1,0 +1,122 @@
+"""Unit tests for Arbitrary Stride Prefetching (Chen & Baer RPT)."""
+
+from repro.prefetch.base import NO_EVICTION
+from repro.prefetch.stride import (
+    ArbitraryStridePrefetcher,
+    StrideEntry,
+    StrideState,
+)
+
+from conftest import drive_misses
+
+
+class TestStateMachine:
+    """Walk the Chen & Baer transitions explicitly."""
+
+    def test_lock_after_two_equal_strides(self):
+        asp = ArbitraryStridePrefetcher(rows=16)
+        # Misses at constant stride 5 from one PC.
+        prefetches = drive_misses(asp, [100, 105, 110, 115], pcs=[7] * 4)
+        # Allocation; stride 5 learned (transient); steady -> prefetch.
+        assert prefetches[0] == []
+        assert prefetches[1] == []
+        assert prefetches[2] == [115]
+        assert prefetches[3] == [120]
+
+    def test_initial_with_zero_stride_goes_steady_but_silent(self):
+        asp = ArbitraryStridePrefetcher(rows=16)
+        # Same page twice: stride 0 matches the allocated stride of 0,
+        # so the entry goes steady, but a zero stride never prefetches.
+        prefetches = drive_misses(asp, [100, 100, 100], pcs=[7] * 3)
+        assert prefetches == [[], [], []]
+
+    def test_stride_change_in_steady_goes_initial_keeping_stride(self):
+        asp = ArbitraryStridePrefetcher(rows=16)
+        drive_misses(asp, [100, 105, 110], pcs=[7] * 3)  # steady, stride 5
+        entry = asp.table.peek(7)
+        assert entry.state is StrideState.STEADY
+        # A spurious jump: steady -> initial, stride kept (the safeguard).
+        asp.on_miss(7, 200, NO_EVICTION, False)
+        assert entry.state is StrideState.INITIAL
+        assert entry.stride == 5
+
+    def test_recovers_lock_after_spurious_change(self):
+        asp = ArbitraryStridePrefetcher(rows=16)
+        pages = [100, 105, 110, 300, 305, 310]
+        prefetches = drive_misses(asp, pages, pcs=[7] * 6)
+        # After the jump to 300 the stride (5) reappears: 300->305 is
+        # "unchanged" vs the kept stride, so the entry re-locks.
+        assert prefetches[4] == [310]
+        assert prefetches[5] == [315]
+
+    def test_transient_mismatch_goes_no_prediction(self):
+        asp = ArbitraryStridePrefetcher(rows=16)
+        drive_misses(asp, [100, 105], pcs=[7] * 2)  # transient, stride 5
+        asp.on_miss(7, 120, NO_EVICTION, False)  # stride 15 != 5
+        assert asp.table.peek(7).state is StrideState.NO_PREDICTION
+
+    def test_no_prediction_recovers_via_transient(self):
+        asp = ArbitraryStridePrefetcher(rows=16)
+        drive_misses(asp, [100, 105, 120], pcs=[7] * 3)  # no-pred, stride 15
+        prefetches = drive_misses(asp, [135, 150, 165], pcs=[7] * 3)
+        # 135: stride 15 unchanged -> transient; 150: -> steady + prefetch.
+        assert prefetches[0] == []
+        assert prefetches[1] == [165]
+        assert prefetches[2] == [180]
+
+
+class TestIndexing:
+    def test_independent_streams_per_pc(self):
+        asp = ArbitraryStridePrefetcher(rows=16)
+        # Two interleaved PCs with different strides both lock.
+        pages = [100, 500, 101, 510, 102, 520, 103, 530]
+        pcs = [1, 2, 1, 2, 1, 2, 1, 2]
+        prefetches = drive_misses(asp, pages, pcs=pcs)
+        assert prefetches[4] == [103]   # pc 1, stride 1
+        assert prefetches[5] == [530]   # pc 2, stride 10
+        assert prefetches[6] == [104]
+        assert prefetches[7] == [540]
+
+    def test_shared_pc_with_alternating_strides_never_locks(self):
+        asp = ArbitraryStridePrefetcher(rows=16)
+        # One PC touching two interleaved streams: strides alternate
+        # (+400, -399, +400, ...) and never repeat back-to-back.
+        pages = [100, 500, 101, 501, 102, 502, 103, 503]
+        prefetches = drive_misses(asp, pages, pcs=[1] * 8)
+        assert all(p == [] for p in prefetches)
+
+    def test_negative_stride(self):
+        asp = ArbitraryStridePrefetcher(rows=16)
+        prefetches = drive_misses(asp, [100, 90, 80, 70], pcs=[7] * 4)
+        assert prefetches[2] == [70]
+        assert prefetches[3] == [60]
+
+    def test_negative_target_suppressed(self):
+        asp = ArbitraryStridePrefetcher(rows=16)
+        prefetches = drive_misses(asp, [20, 10, 0], pcs=[7] * 3)
+        # Steady at stride -10 but 0 - 10 < 0: no prefetch issued.
+        assert prefetches[2] == []
+
+    def test_row_conflict_evicts_lru_pc(self):
+        asp = ArbitraryStridePrefetcher(rows=4)  # direct mapped, 4 sets
+        drive_misses(asp, [100, 105, 110], pcs=[1] * 3)  # locked
+        asp.on_miss(5, 999, NO_EVICTION, False)  # pc 5 maps to set 1 too
+        assert asp.table.peek(1) is None
+        assert isinstance(asp.table.peek(5), StrideEntry)
+
+    def test_flush_clears_table(self):
+        asp = ArbitraryStridePrefetcher(rows=16)
+        drive_misses(asp, [100, 105, 110], pcs=[7] * 3)
+        asp.flush()
+        assert len(asp.table) == 0
+
+
+class TestMetadata:
+    def test_label(self):
+        assert ArbitraryStridePrefetcher(rows=512).label == "ASP,512"
+
+    def test_hardware_description(self):
+        desc = ArbitraryStridePrefetcher().describe_hardware()
+        assert desc.index_source == "PC"
+        assert desc.max_prefetches == "1"
+        assert desc.memory_ops_per_miss == 0

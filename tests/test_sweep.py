@@ -1,0 +1,99 @@
+"""Tests for sweep helpers and page-size rescaling."""
+
+import numpy as np
+import pytest
+
+from repro.prefetch.factory import create_prefetcher
+from repro.sim.config import SimulationConfig, TLBConfig
+from repro.sim.sweep import page_size_sweep, rescale_trace, sweep
+from repro.workloads.registry import get_trace
+
+from conftest import make_trace
+
+
+class TestRescaleTrace:
+    def test_identity_at_4k(self):
+        trace = make_trace([1, 2, 3])
+        assert rescale_trace(trace, 4096) is trace
+
+    def test_8k_halves_pages_and_merges_runs(self):
+        trace = make_trace([0, 1, 2, 3], counts=[1, 2, 3, 4])
+        rescaled = rescale_trace(trace, 8192)
+        # Pages 0,1 -> page 0; pages 2,3 -> page 1; runs merge.
+        assert rescaled.pages.tolist() == [0, 1]
+        assert rescaled.counts.tolist() == [3, 7]
+        assert rescaled.total_references == trace.total_references
+
+    def test_non_adjacent_same_page_not_merged(self):
+        trace = make_trace([0, 2, 0], counts=[1, 1, 1])
+        rescaled = rescale_trace(trace, 8192)
+        assert rescaled.pages.tolist() == [0, 1, 0]
+
+    def test_name_annotated(self):
+        trace = make_trace([0], name="app")
+        assert rescale_trace(trace, 65536).name == "app@64K"
+
+
+class TestSweep:
+    def test_coordinates_recorded(self):
+        trace = make_trace(list(range(30)), name="t")
+        results = sweep(
+            [trace],
+            [("dp16", lambda: create_prefetcher("DP", rows=16))],
+            [SimulationConfig(tlb=TLBConfig(entries=8), buffer_entries=4)],
+        )
+        assert len(results) == 1
+        assert results[0].extra["factory"] == "dp16"
+        assert results[0].extra["tlb"] == "8e-FA"
+        assert results[0].extra["buffer"] == 4
+
+    def test_cartesian_product(self):
+        traces = [make_trace(list(range(20)), name=f"t{i}") for i in range(2)]
+        factories = [
+            ("a", lambda: create_prefetcher("DP", rows=16)),
+            ("b", lambda: create_prefetcher("SP")),
+        ]
+        configs = [
+            SimulationConfig(tlb=TLBConfig(entries=8)),
+            SimulationConfig(tlb=TLBConfig(entries=4)),
+        ]
+        results = sweep(traces, factories, configs)
+        assert len(results) == 8
+
+    def test_fresh_mechanism_per_point(self):
+        """Mechanism state must not leak between sweep points."""
+        trace = make_trace(list(range(40)), name="t")
+        results = sweep(
+            [trace, trace],
+            [("dp", lambda: create_prefetcher("DP", rows=16))],
+        )
+        assert results[0].prediction_accuracy == pytest.approx(
+            results[1].prediction_accuracy
+        )
+
+
+class TestPageSizeSweep:
+    def test_bigger_pages_fewer_misses(self):
+        trace = get_trace("galgel", 0.05)
+        results = page_size_sweep(
+            trace, lambda: create_prefetcher("DP", rows=256),
+            page_sizes=(4096, 16384),
+        )
+        assert results[16384].tlb_misses < results[4096].tlb_misses
+
+    def test_dp_accuracy_stable_across_page_sizes(self):
+        """The paper: DP makes good predictions across page sizes."""
+        trace = get_trace("galgel", 0.05)
+        results = page_size_sweep(
+            trace, lambda: create_prefetcher("DP", rows=256),
+            page_sizes=(4096, 8192, 16384),
+        )
+        accuracies = [r.prediction_accuracy for r in results.values()]
+        assert min(accuracies) > 0.9
+
+    def test_extra_records_page_size(self):
+        trace = get_trace("eon", 0.05)
+        results = page_size_sweep(
+            trace, lambda: create_prefetcher("none"), page_sizes=(8192,)
+        )
+        assert results[8192].extra["page_size"] == 8192

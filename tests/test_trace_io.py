@@ -1,0 +1,96 @@
+"""Tests for trace persistence (.npz round-trips and format safety)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.mem.trace_io import (
+    load_miss_trace,
+    load_reference_trace,
+    save_miss_trace,
+    save_reference_trace,
+)
+from repro.sim.config import TLBConfig
+from repro.sim.two_phase import filter_tlb, replay_prefetcher
+from repro.prefetch.factory import create_prefetcher
+
+from conftest import make_trace
+
+
+class TestReferenceTraceRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        trace = make_trace([3, 1, 4, 1, 5], pcs=[7, 8, 9, 8, 7],
+                           counts=[2, 1, 3, 1, 2], name="pi")
+        path = save_reference_trace(trace, tmp_path / "pi.npz")
+        loaded = load_reference_trace(path)
+        assert loaded.name == "pi"
+        assert loaded.pages.tolist() == trace.pages.tolist()
+        assert loaded.pcs.tolist() == trace.pcs.tolist()
+        assert loaded.counts.tolist() == trace.counts.tolist()
+        assert loaded.total_references == trace.total_references
+
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        trace = make_trace(list(range(100)), name="seq")
+        path = save_reference_trace(trace, tmp_path / "seq.npz")
+        loaded = load_reference_trace(path)
+        original = replay_prefetcher(
+            filter_tlb(trace, TLBConfig(entries=8)),
+            create_prefetcher("DP", rows=16),
+        )
+        replayed = replay_prefetcher(
+            filter_tlb(loaded, TLBConfig(entries=8)),
+            create_prefetcher("DP", rows=16),
+        )
+        assert replayed.pb_hits == original.pb_hits
+        assert replayed.tlb_misses == original.tlb_misses
+
+
+class TestMissTraceRoundTrip:
+    def test_round_trip_preserves_provenance(self, tmp_path):
+        trace = make_trace(list(range(50)), name="m")
+        miss_trace = filter_tlb(trace, TLBConfig(entries=8), warmup_fraction=0.2)
+        path = save_miss_trace(miss_trace, tmp_path / "m.npz")
+        loaded = load_miss_trace(path)
+        assert loaded.name == miss_trace.name
+        assert loaded.tlb_label == miss_trace.tlb_label
+        assert loaded.warmup_misses == miss_trace.warmup_misses
+        assert loaded.total_references == miss_trace.total_references
+        assert loaded.pages.tolist() == miss_trace.pages.tolist()
+        assert loaded.evicted.tolist() == miss_trace.evicted.tolist()
+
+    def test_loaded_miss_trace_replays_identically(self, tmp_path):
+        trace = make_trace(list(range(80)), name="m2")
+        miss_trace = filter_tlb(trace, TLBConfig(entries=8))
+        path = save_miss_trace(miss_trace, tmp_path / "m2.npz")
+        loaded = load_miss_trace(path)
+        a = replay_prefetcher(miss_trace, create_prefetcher("RP"))
+        b = replay_prefetcher(loaded, create_prefetcher("RP"))
+        assert a.pb_hits == b.pb_hits
+
+
+class TestFormatSafety:
+    def test_kind_mismatch_rejected(self, tmp_path):
+        trace = make_trace([1, 2, 3])
+        path = save_reference_trace(trace, tmp_path / "x.npz")
+        with pytest.raises(TraceError, match="expected a miss-trace"):
+            load_miss_trace(path)
+
+    def test_random_npz_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(TraceError, match="not a repro trace file"):
+            load_reference_trace(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez(
+            path,
+            kind=np.array("reference-trace"),
+            version=np.array(99),
+            name=np.array("x"),
+            pcs=np.zeros(1, dtype=np.int64),
+            pages=np.zeros(1, dtype=np.int64),
+            counts=np.ones(1, dtype=np.int64),
+        )
+        with pytest.raises(TraceError, match="version 99"):
+            load_reference_trace(path)
