@@ -7,6 +7,10 @@ EXPERIMENTS.md paper-vs-measured record can cite concrete runs.
 The workload scale defaults to 0.25 of the full traces (enough for
 stable accuracies; the shapes are scale-invariant) and can be raised
 with ``REPRO_BENCH_SCALE=1.0``.
+
+Benchmarks are *not* part of tier-1 collection (``pyproject.toml``
+pins ``testpaths = tests``); run them explicitly with
+``PYTHONPATH=src python -m pytest benchmarks -q``.
 """
 
 from __future__ import annotations

@@ -6,10 +6,14 @@ kind of reference behaviour; this example runs one representative
 application model per class through every mechanism and prints the
 resulting accuracy matrix — the story of Figures 7 and 8 in one screen.
 
+The whole matrix is a single declarative batch: the Runner filters each
+application's TLB once and replays all five mechanisms over the shared
+miss stream, then ``ResultSet.pivot`` reshapes the rows for printing.
+
 Run:  python examples/compare_prefetchers.py
 """
 
-from repro import create_prefetcher, evaluate, get_app, get_trace
+from repro import Runner, RunSpec, get_app
 
 #: One representative app per behaviour class (see the registry for
 #: the full 56).
@@ -26,16 +30,22 @@ MECHANISMS = ["SP", "ASP", "MP", "RP", "DP"]
 
 
 def main() -> None:
+    specs = [
+        RunSpec.of(app, mechanism, scale=0.2, rows=256)
+        for app, _ in REPRESENTATIVES
+        for mechanism in MECHANISMS
+    ]
+    accuracy = Runner().run(specs).pivot(
+        index="workload", columns="mechanism_name", values="prediction_accuracy"
+    )
+
     print(f"{'application':<12} {'behaviour class':<42}"
           + "".join(f"{m:>8}" for m in MECHANISMS))
     print("-" * (12 + 42 + 8 * len(MECHANISMS) + 2))
-
     for app, label in REPRESENTATIVES:
-        trace = get_trace(app, scale=0.2)
         row = f"{app:<12} {label:<42}"
         for mechanism in MECHANISMS:
-            stats = evaluate(trace, create_prefetcher(mechanism, rows=256))
-            row += f"{stats.prediction_accuracy:8.3f}"
+            row += f"{accuracy[app][mechanism]:8.3f}"
         print(row)
 
     print(

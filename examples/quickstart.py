@@ -7,31 +7,33 @@ direct-mapped distance table — over the galgel model (the highest
 TLB-miss-rate application in the study) and prints what the prefetcher
 achieved.
 
+Simulations are described declaratively as :class:`repro.RunSpec`
+records and executed in one batch by :class:`repro.Runner`, which
+filters galgel's TLB once and replays both mechanisms over the shared
+miss stream.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    DistancePrefetcher,
-    RecencyPrefetcher,
-    SimulationConfig,
-    evaluate,
-    get_trace,
-)
+from repro import Runner, RunSpec
 
 
 def main() -> None:
     # Workload models are deterministic; scale trades volume for speed.
-    trace = get_trace("galgel", scale=0.25)
-    print(f"Workload: {trace}")
+    # Paper defaults otherwise: 128e-FA TLB, b=16, 4 KiB pages.
+    specs = [
+        RunSpec.of("galgel", "DP", scale=0.25, rows=256),
+        RunSpec.of("galgel", "RP", scale=0.25),
+    ]
+    results = Runner().run(specs)
 
-    config = SimulationConfig()  # paper defaults: 128e-FA TLB, b=16
-    dp_stats = evaluate(trace, DistancePrefetcher(rows=256), config)
-    rp_stats = evaluate(trace, RecencyPrefetcher(), config)
-
+    dp_stats = results[0]
+    print(f"Workload: galgel ({dp_stats.total_references} references, "
+          f"scale 0.25)")
     print(f"\nTLB miss rate: {dp_stats.miss_rate:.4f} "
           f"({dp_stats.tlb_misses} misses / {dp_stats.total_references} refs)")
     print("\n  mechanism     accuracy   prefetches   mem-ops/miss")
-    for stats in (dp_stats, rp_stats):
+    for stats in results:
         print(
             f"  {stats.mechanism:<12}  {stats.prediction_accuracy:7.3f}  "
             f"{stats.prefetches_issued:>10}   {stats.memory_ops_per_miss:6.2f}"

@@ -10,11 +10,24 @@ analysis harnesses that regenerate every table and figure of the
 evaluation. See DESIGN.md for the system inventory and EXPERIMENTS.md
 for paper-vs-measured results.
 
-Quickstart::
+Quickstart — simulations are declared as :class:`RunSpec` records and
+executed by a :class:`Runner`, which caches each workload's filtered
+TLB miss stream process-wide and can fan batches out to worker
+processes::
 
-    from repro import (
-        DistancePrefetcher, SimulationConfig, get_trace, evaluate
-    )
+    from repro import Runner, RunSpec
+
+    specs = [
+        RunSpec.of("galgel", mech, scale=0.2, rows=256)
+        for mech in ("DP", "RP", "ASP", "MP")
+    ]
+    results = Runner(workers=4).run(specs)   # one TLB filter, 4 replays
+    print(results.pivot())                   # workload -> mechanism -> accuracy
+    results.save("galgel.json")              # ResultSet round-trips as JSON
+
+The single-run wrappers remain for quick interactive use::
+
+    from repro import DistancePrefetcher, get_trace, evaluate
 
     trace = get_trace("galgel", scale=0.2)
     stats = evaluate(trace, DistancePrefetcher(rows=256))
@@ -50,6 +63,7 @@ from repro.prefetch.null import NullPrefetcher
 from repro.prefetch.recency import RecencyPrefetcher
 from repro.prefetch.sequential import SequentialPrefetcher
 from repro.prefetch.stride import ArbitraryStridePrefetcher
+from repro.run import MechanismSpec, MissStreamCache, ResultSet, Runner, RunSpec
 from repro.sim.config import SimulationConfig, TLBConfig
 from repro.sim.cycle import CycleSimConfig, CycleStats, normalized_cycles, simulate_cycles
 from repro.sim.functional import simulate
@@ -82,6 +96,8 @@ __all__ = [
     "HardwareDescription",
     "MMU",
     "MarkovPrefetcher",
+    "MechanismSpec",
+    "MissStreamCache",
     "MissTrace",
     "NullPrefetcher",
     "PCDistancePrefetcher",
@@ -95,6 +111,9 @@ __all__ = [
     "RecencyStack",
     "ReferenceTrace",
     "ReproError",
+    "ResultSet",
+    "RunSpec",
+    "Runner",
     "SUITES",
     "SequentialPrefetcher",
     "SimulationConfig",

@@ -1,10 +1,14 @@
 """The per-experiment orchestrator: one entry point per table/figure.
 
-:class:`ExperimentContext` owns the expensive intermediates — generated
-reference traces and filtered TLB miss streams — keyed by (app, scale,
-TLB shape), so a benchmark session touching many mechanism
-configurations filters each workload's TLB exactly once (the two-phase
-split described in DESIGN.md).
+:class:`ExperimentContext` is a thin experiment-shaped layer over the
+unified :class:`~repro.run.runner.Runner`: each ``run_*`` method builds
+the declarative :class:`~repro.run.spec.RunSpec` batch for one table or
+figure of the paper and executes it through the runner, which owns the
+expensive intermediates — filtered TLB miss streams keyed by (app,
+scale, TLB shape, page size) in a process-wide cache — so a benchmark
+session touching many mechanism configurations filters each workload's
+TLB exactly once (the two-phase split described in DESIGN.md). Pass
+``workers=N`` to fan a whole figure's batch out to a process pool.
 
 Each ``run_*`` method regenerates one experiment of the paper:
 
@@ -33,16 +37,16 @@ from repro.mem.trace import MissTrace
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.factory import create_prefetcher
 from repro.prefetch.null import NullPrefetcher
+from repro.run import MechanismSpec, ResultSet, Runner, RunSpec
 from repro.sim.config import TLBConfig
 from repro.sim.cycle import CycleSimConfig, normalized_cycles, simulate_cycles
 from repro.sim.stats import PrefetchRunStats
-from repro.sim.two_phase import filter_tlb, replay_prefetcher
+from repro.sim.two_phase import replay_prefetcher
 from repro.workloads.registry import (
     HIGH_MISS_APPS,
     TABLE3_APPS,
     all_app_names,
     app_names_for_suite,
-    get_trace,
 )
 
 #: The four head-to-head mechanisms of Table 2, in the paper's order.
@@ -50,28 +54,54 @@ TABLE2_MECHANISMS: tuple[str, ...] = ("DP", "RP", "ASP", "MP")
 
 
 class ExperimentContext:
-    """Caches traces and miss streams across experiment runs.
+    """Builds experiment batches and executes them through a Runner.
 
     Args:
         scale: workload volume multiplier (1.0 = the library's full
             trace size; benchmarks default lower for runtime).
         buffer_entries: prefetch buffer size ``b`` (paper default 16).
+        workers: process-pool size for batch execution (``None`` =
+            serial); forwarded to the :class:`Runner` when one is not
+            supplied explicitly.
+        runner: the execution engine; defaults to a fresh one over the
+            process-wide miss-stream cache.
     """
 
-    def __init__(self, scale: float = 1.0, buffer_entries: int = 16) -> None:
+    def __init__(
+        self,
+        scale: float = 1.0,
+        buffer_entries: int = 16,
+        workers: int | None = None,
+        runner: Runner | None = None,
+    ) -> None:
         self.scale = scale
         self.buffer_entries = buffer_entries
-        self._miss_traces: dict[tuple[str, int, int], MissTrace] = {}
+        self.runner = runner if runner is not None else Runner(workers=workers)
+
+    def spec(
+        self,
+        app: str,
+        mechanism: str,
+        tlb: TLBConfig | None = None,
+        buffer_entries: int | None = None,
+        **mechanism_params: int,
+    ) -> RunSpec:
+        """A RunSpec at this context's scale and buffer defaults."""
+        return RunSpec(
+            workload=app,
+            mechanism=MechanismSpec.of(mechanism, **mechanism_params),
+            scale=self.scale,
+            tlb=tlb if tlb is not None else TLBConfig(),
+            buffer_entries=buffer_entries or self.buffer_entries,
+        )
+
+    def run_specs(self, specs: Sequence[RunSpec]) -> ResultSet:
+        """Execute a batch through the runner (shared miss streams)."""
+        return self.runner.run(specs)
 
     def miss_trace(self, app: str, tlb: TLBConfig | None = None) -> MissTrace:
-        """Filtered miss stream for ``app`` under ``tlb`` (memoized)."""
-        tlb = tlb or TLBConfig()
-        key = (app, tlb.entries, tlb.ways)
-        cached = self._miss_traces.get(key)
-        if cached is None:
-            cached = filter_tlb(get_trace(app, self.scale), tlb)
-            self._miss_traces[key] = cached
-        return cached
+        """Filtered miss stream for ``app`` under ``tlb`` (cached)."""
+        return self.runner.miss_stream(app, tlb=tlb, scale=self.scale)
 
     def run_mechanism(
         self,
@@ -80,7 +110,11 @@ class ExperimentContext:
         tlb: TLBConfig | None = None,
         buffer_entries: int | None = None,
     ) -> PrefetchRunStats:
-        """Evaluate one mechanism instance over one app's miss stream."""
+        """Evaluate one *live* mechanism instance over one app.
+
+        For already-constructed (possibly pre-trained) instances;
+        declarative batches should go through :meth:`run_specs`.
+        """
         return replay_prefetcher(
             self.miss_trace(app, tlb),
             prefetcher,
@@ -125,16 +159,16 @@ class ExperimentContext:
         Returns ``app -> legend label -> accuracy`` in figure order.
         """
         configs = list(configs) if configs is not None else figures.figure7_configs()
+        coordinates = [(app, config) for app in apps for config in configs]
+        batch = self.run_specs(
+            [
+                self.spec(app, config.mechanism, **config.factory_params())
+                for app, config in coordinates
+            ]
+        )
         results: dict[str, dict[str, float]] = {}
-        for app in apps:
-            per_app: dict[str, float] = {}
-            for config in configs:
-                prefetcher = create_prefetcher(
-                    config.mechanism, **config.factory_params()
-                )
-                stats = self.run_mechanism(app, prefetcher)
-                per_app[config.label] = stats.prediction_accuracy
-            results[app] = per_app
+        for (app, config), stats in zip(coordinates, batch):
+            results.setdefault(app, {})[config.label] = stats.prediction_accuracy
         return results
 
     def run_figure7(self) -> dict[str, dict[str, float]]:
@@ -170,13 +204,20 @@ class ExperimentContext:
         ``"within10"``.
         """
         app_list = list(apps) if apps is not None else all_app_names()
+        coordinates = [
+            (app, mechanism)
+            for app in app_list
+            for mechanism in TABLE2_MECHANISMS
+        ]
+        batch = self.run_specs(
+            [
+                self.spec(app, mechanism, rows=rows, ways=1, slots=slots)
+                for app, mechanism in coordinates
+            ]
+        )
         runs_by_mechanism: dict[str, list[PrefetchRunStats]] = {}
-        for app in app_list:
-            for mechanism in TABLE2_MECHANISMS:
-                prefetcher = create_prefetcher(mechanism, rows=rows, ways=1, slots=slots)
-                stats = self.run_mechanism(app, prefetcher)
-                # Normalize the label so per-app pivots group correctly.
-                runs_by_mechanism.setdefault(mechanism, []).append(stats)
+        for (_, mechanism), stats in zip(coordinates, batch):
+            runs_by_mechanism.setdefault(mechanism, []).append(stats)
 
         summary: dict[str, dict[str, float]] = {}
         all_runs = [run for runs in runs_by_mechanism.values() for run in runs]
@@ -249,45 +290,49 @@ class ExperimentContext:
         """Panel (a): DP accuracy vs table size and associativity."""
         return self.run_figure(HIGH_MISS_APPS, figures.figure9_table_configs())
 
+    def _run_panel(
+        self, specs: list[RunSpec], labels: list[tuple[str, str]]
+    ) -> dict[str, dict[str, float]]:
+        """Execute one sensitivity panel batch; pivot to figure shape."""
+        results: dict[str, dict[str, float]] = {}
+        for (app, label), stats in zip(labels, self.run_specs(specs)):
+            results.setdefault(app, {})[label] = stats.prediction_accuracy
+        return results
+
     def run_figure9_slots(self) -> dict[str, dict[str, float]]:
         """Panel (b): DP accuracy vs prediction slots ``s``."""
-        results: dict[str, dict[str, float]] = {}
-        for app in HIGH_MISS_APPS:
-            per_app: dict[str, float] = {}
-            for slots in figures.FIGURE9_SLOTS:
-                stats = self.run_mechanism(
-                    app, create_prefetcher("DP", rows=256, slots=slots)
-                )
-                per_app[f"s = {slots}"] = stats.prediction_accuracy
-            results[app] = per_app
-        return results
+        points = [
+            (app, slots) for app in HIGH_MISS_APPS for slots in figures.FIGURE9_SLOTS
+        ]
+        return self._run_panel(
+            [self.spec(app, "DP", rows=256, slots=slots) for app, slots in points],
+            [(app, f"s = {slots}") for app, slots in points],
+        )
 
     def run_figure9_buffers(self) -> dict[str, dict[str, float]]:
         """Panel (c): DP accuracy vs prefetch buffer size ``b``."""
-        results: dict[str, dict[str, float]] = {}
-        for app in HIGH_MISS_APPS:
-            per_app: dict[str, float] = {}
-            for buffer_entries in figures.FIGURE9_BUFFERS:
-                stats = self.run_mechanism(
-                    app,
-                    create_prefetcher("DP", rows=256),
-                    buffer_entries=buffer_entries,
-                )
-                per_app[f"b = {buffer_entries}"] = stats.prediction_accuracy
-            results[app] = per_app
-        return results
+        points = [
+            (app, entries)
+            for app in HIGH_MISS_APPS
+            for entries in figures.FIGURE9_BUFFERS
+        ]
+        return self._run_panel(
+            [
+                self.spec(app, "DP", buffer_entries=entries, rows=256)
+                for app, entries in points
+            ],
+            [(app, f"b = {entries}") for app, entries in points],
+        )
 
     def run_figure9_tlbs(self) -> dict[str, dict[str, float]]:
         """Panel (d): DP accuracy vs TLB size (fully associative)."""
-        results: dict[str, dict[str, float]] = {}
-        for app in HIGH_MISS_APPS:
-            per_app: dict[str, float] = {}
-            for entries in figures.FIGURE9_TLBS:
-                stats = self.run_mechanism(
-                    app,
-                    create_prefetcher("DP", rows=256),
-                    tlb=TLBConfig(entries=entries),
-                )
-                per_app[f"{entries}-entry TLB"] = stats.prediction_accuracy
-            results[app] = per_app
-        return results
+        points = [
+            (app, entries) for app in HIGH_MISS_APPS for entries in figures.FIGURE9_TLBS
+        ]
+        return self._run_panel(
+            [
+                self.spec(app, "DP", tlb=TLBConfig(entries=entries), rows=256)
+                for app, entries in points
+            ],
+            [(app, f"{entries}-entry TLB") for app, entries in points],
+        )

@@ -4,10 +4,11 @@ Examples::
 
     repro-tlb list-apps
     repro-tlb run --app galgel --mechanism DP --rows 256 --scale 0.25
+    repro-tlb run --app galgel --save galgel_dp.json
     repro-tlb table1
     repro-tlb table2 --scale 0.5
     repro-tlb table3 --scale 0.5
-    repro-tlb figure7 --scale 0.25
+    repro-tlb figure7 --scale 0.25 --workers 4
     repro-tlb figure8 --scale 0.25
     repro-tlb figure9 --scale 0.25 --panel tables
     repro-tlb validate --scale 0.2
@@ -28,6 +29,7 @@ from repro.analysis.experiments import ExperimentContext
 from repro.analysis.tables import compare_table2, compare_table3
 from repro.mem.trace_io import load_reference_trace, save_reference_trace
 from repro.prefetch.factory import PREFETCHER_NAMES, create_prefetcher
+from repro.run import ResultSet, Runner, RunSpec
 from repro.sim.two_phase import evaluate
 from repro.workloads.registry import SUITES, all_app_names, get_app, get_trace
 
@@ -38,6 +40,15 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=0.25,
         help="workload volume multiplier (1.0 = full traces; default 0.25)",
+    )
+
+
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool size for batch execution (0 = serial)",
     )
 
 
@@ -66,6 +77,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rows", type=int, default=256, help="prediction table rows r")
     run.add_argument("--slots", type=int, default=2, help="prediction slots s")
     run.add_argument("--buffer", type=int, default=16, help="prefetch buffer entries b")
+    run.add_argument(
+        "--save", help="also write the run as a ResultSet JSON file (path)"
+    )
     _add_scale(run)
 
     export = sub.add_parser(
@@ -106,6 +120,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     table2 = sub.add_parser("table2", help="regenerate Table 2 (accuracy averages)")
     _add_scale(table2)
+    _add_workers(table2)
 
     table3 = sub.add_parser("table3", help="regenerate Table 3 (normalized cycles)")
     _add_scale(table3)
@@ -116,6 +131,7 @@ def _build_parser() -> argparse.ArgumentParser:
     ):
         fig = sub.add_parser(figure, help=f"regenerate {figure} ({description})")
         _add_scale(fig)
+        _add_workers(fig)
 
     figure9 = sub.add_parser("figure9", help="regenerate Figure 9 (DP sensitivity)")
     figure9.add_argument(
@@ -125,6 +141,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="which sensitivity panel to run",
     )
     _add_scale(figure9)
+    _add_workers(figure9)
 
     return parser
 
@@ -139,18 +156,30 @@ def _cmd_list_apps() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    prefetcher = create_prefetcher(args.mechanism, rows=args.rows, slots=args.slots)
     if args.trace_file:
         from repro.sim.config import SimulationConfig
 
+        prefetcher = create_prefetcher(args.mechanism, rows=args.rows, slots=args.slots)
         trace = load_reference_trace(args.trace_file)
         stats = evaluate(
             trace, prefetcher, SimulationConfig(buffer_entries=args.buffer)
         )
+        results = ResultSet([stats])
     else:
         get_app(args.app)  # validate name early with a helpful error
-        context = ExperimentContext(scale=args.scale, buffer_entries=args.buffer)
-        stats = context.run_mechanism(args.app, prefetcher)
+        spec = RunSpec.of(
+            args.app,
+            args.mechanism,
+            scale=args.scale,
+            buffer_entries=args.buffer,
+            rows=args.rows,
+            slots=args.slots,
+        )
+        results = Runner().run([spec])
+        stats = results[0]
+    if args.save:
+        path = results.save(args.save)
+        print(f"result set written to {path}")
     print(stats.one_line())
     print(
         f"  misses={stats.tlb_misses} pb_hits={stats.pb_hits} "
@@ -225,7 +254,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(ExperimentContext(scale=0.05).run_table1())
         return 0
 
-    context = ExperimentContext(scale=args.scale)
+    context = ExperimentContext(
+        scale=args.scale, workers=getattr(args, "workers", 0)
+    )
     if args.command == "table2":
         print(compare_table2(context.run_table2()))
     elif args.command == "table3":

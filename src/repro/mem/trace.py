@@ -15,6 +15,7 @@ list-based iteration helpers for the hot simulation loops.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
 
@@ -38,7 +39,7 @@ class ReferenceTrace:
         name: human-readable workload identifier (used in reports).
     """
 
-    __slots__ = ("pcs", "pages", "counts", "name", "_total")
+    __slots__ = ("pcs", "pages", "counts", "name", "_total", "_content_key")
 
     def __init__(
         self,
@@ -63,6 +64,7 @@ class ReferenceTrace:
             raise TraceError("all run counts must be >= 1")
         self.name = name
         self._total = int(self.counts.sum()) if len(self.counts) else 0
+        self._content_key: str | None = None
 
     @classmethod
     def from_runs(cls, runs: Iterable[ReferenceRun], name: str = "") -> "ReferenceTrace":
@@ -103,6 +105,21 @@ class ReferenceTrace:
     def as_lists(self) -> tuple[list[int], list[int], list[int]]:
         """Return ``(pcs, pages, counts)`` as plain lists for hot loops."""
         return self.pcs.tolist(), self.pages.tolist(), self.counts.tolist()
+
+    def content_key(self) -> str:
+        """Stable digest of the trace contents (name excluded).
+
+        Two traces with identical run data share a key regardless of how
+        they were built, which lets ad-hoc traces participate in the
+        process-wide miss-stream cache without identity tricks. The
+        digest is computed once and memoized (traces are immutable).
+        """
+        if self._content_key is None:
+            digest = hashlib.sha256()
+            for array in (self.pcs, self.pages, self.counts):
+                digest.update(np.ascontiguousarray(array).tobytes())
+            self._content_key = digest.hexdigest()[:24]
+        return self._content_key
 
     def concatenated_with(self, other: "ReferenceTrace", name: str = "") -> "ReferenceTrace":
         """Return a new trace that plays this trace, then ``other``."""

@@ -1,0 +1,241 @@
+"""The one way to execute simulations: shared cache + batch fan-out.
+
+:class:`Runner` takes any iterable of :class:`~repro.run.spec.RunSpec`
+and owns the expensive intermediate every caller used to re-implement:
+the filtered TLB miss stream. Streams live in a process-wide LRU
+(:data:`SHARED_CACHE`) keyed by :meth:`RunSpec.stream_key`, so a batch
+touching twenty mechanism configurations per workload — the Figure 7
+shape — filters each workload's TLB exactly once, and *separate*
+batches in the same process reuse each other's streams too.
+
+With ``workers=N`` the batch is grouped by stream key and the groups
+are executed in a process pool: every group lands on exactly one
+worker, preserving the filter-once guarantee across the pool, and
+specs are pickleable by construction so nothing special is needed to
+ship them. Replays are deterministic, so parallel results are
+bit-identical to serial ones (the property is regression-tested).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from collections import OrderedDict
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro.mem.address import DEFAULT_PAGE_SIZE
+from repro.mem.trace import MissTrace, ReferenceTrace
+from repro.run.results import ResultSet
+from repro.run.spec import RunSpec
+from repro.sim.config import TLBConfig
+from repro.sim.stats import PrefetchRunStats
+from repro.sim.sweep import rescale_trace
+from repro.sim.two_phase import filter_tlb, replay_prefetcher
+from repro.workloads.registry import get_trace
+
+
+class MissStreamCache:
+    """Bounded LRU of filtered miss streams, with hit/miss accounting.
+
+    The counters make the cache's contract testable: after a *serial*
+    batch of ``k`` specs over ``g`` distinct stream keys, ``misses``
+    grew by exactly ``g`` and ``hits`` by ``k - g``. (With
+    ``workers>1`` filtering happens inside the worker processes — one
+    filter per stream group there — and this cache is not consulted.)
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be > 0, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, MissTrace] = OrderedDict()
+
+    def get_or_build(self, key: tuple, build: Callable[[], MissTrace]) -> MissTrace:
+        """Return the cached stream for ``key``, building it on miss."""
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        built = build()
+        self._entries[key] = built
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return built
+
+    def clear(self) -> None:
+        """Drop all entries and zero the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"MissStreamCache({len(self._entries)}/{self.maxsize} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )
+
+
+#: Process-wide default cache: every Runner (and, under ``fork``, every
+#: worker process) shares it unless given a private cache.
+SHARED_CACHE = MissStreamCache()
+
+
+def build_miss_stream(spec: RunSpec) -> MissTrace:
+    """Phase 1 for a spec: build (or fetch) the trace, filter the TLB."""
+    trace = get_trace(spec.workload, spec.scale)
+    if spec.page_size != DEFAULT_PAGE_SIZE:
+        trace = rescale_trace(trace, spec.page_size)
+    return filter_tlb(trace, spec.tlb, spec.warmup_fraction)
+
+
+def _replay(spec: RunSpec, miss_trace: MissTrace) -> PrefetchRunStats:
+    """Phase 2 for a spec, annotated with its identity coordinates."""
+    stats = replay_prefetcher(
+        miss_trace,
+        spec.build_prefetcher(),
+        buffer_entries=spec.buffer_entries,
+        max_prefetches_per_miss=spec.max_prefetches_per_miss,
+    )
+    stats.extra["spec_key"] = spec.key()
+    stats.extra["mechanism_name"] = spec.mechanism.name
+    stats.extra["scale"] = spec.scale
+    stats.extra["buffer"] = spec.buffer_entries
+    stats.extra["page_size"] = spec.page_size
+    return stats
+
+
+def _run_group(specs: tuple[RunSpec, ...]) -> list[PrefetchRunStats]:
+    """Worker entry point: replay one stream-sharing group of specs.
+
+    All specs in a group share a stream key, so the group costs one
+    TLB filter in this worker (already-warm caches inherited via
+    ``fork`` make it free).
+    """
+    runner = Runner()
+    return [runner.run_one(spec) for spec in specs]
+
+
+class Runner:
+    """Executes batches of RunSpecs over shared miss streams.
+
+    Args:
+        workers: process-pool size for :meth:`run`; ``None``/``0``/``1``
+            executes serially in-process. Capped to the CPU count.
+        cache: private miss-stream cache; defaults to the process-wide
+            :data:`SHARED_CACHE`. Only consulted for serial execution
+            and :meth:`miss_stream` — parallel batches filter inside
+            the worker processes (exactly once per stream group), so a
+            private cache's counters stay at zero there.
+    """
+
+    def __init__(
+        self, workers: int | None = None, cache: MissStreamCache | None = None
+    ) -> None:
+        self.workers = max(0, int(workers or 0))
+        self.cache = cache if cache is not None else SHARED_CACHE
+
+    # -- miss streams ------------------------------------------------------
+
+    def miss_stream_for(self, spec: RunSpec) -> MissTrace:
+        """The (cached) miss stream a spec replays over."""
+        return self.cache.get_or_build(
+            spec.stream_key(), lambda: build_miss_stream(spec)
+        )
+
+    def miss_stream(
+        self,
+        source: str | ReferenceTrace,
+        tlb: TLBConfig | None = None,
+        scale: float = 1.0,
+        warmup_fraction: float = 0.0,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> MissTrace:
+        """Cached miss stream for a workload name or an ad-hoc trace.
+
+        Ad-hoc :class:`ReferenceTrace` objects are keyed by their
+        content digest, so equal traces share a cache entry no matter
+        who built them (and ``scale`` does not apply to them).
+        """
+        tlb = tlb or TLBConfig()
+        if isinstance(source, ReferenceTrace):
+            trace = source
+            if page_size != DEFAULT_PAGE_SIZE:
+                trace = rescale_trace(trace, page_size)
+            key = (
+                ("trace", trace.content_key()),
+                tlb.entries,
+                tlb.ways,
+                warmup_fraction,
+            )
+            miss = self.cache.get_or_build(
+                key, lambda: filter_tlb(trace, tlb, warmup_fraction)
+            )
+            if miss.name != trace.name:
+                # The cache entry keeps the first builder's name; hand
+                # equal-content traces a relabeled view (arrays shared)
+                # so their stats report the caller's workload name.
+                miss = dataclasses.replace(miss, name=trace.name)
+            return miss
+        spec = RunSpec.of(
+            source,
+            "none",
+            scale=scale,
+            tlb=tlb,
+            warmup_fraction=warmup_fraction,
+            page_size=page_size,
+        )
+        return self.miss_stream_for(spec)
+
+    # -- execution ---------------------------------------------------------
+
+    def run_one(self, spec: RunSpec) -> PrefetchRunStats:
+        """Execute a single spec (always in-process)."""
+        return _replay(spec, self.miss_stream_for(spec))
+
+    def run(self, specs: Iterable[RunSpec]) -> ResultSet:
+        """Execute a batch; results come back in input order.
+
+        Serial and parallel execution produce identical rows: replays
+        are deterministic and every spec gets a fresh mechanism.
+        """
+        spec_list = list(specs)
+        for spec in spec_list:
+            if not isinstance(spec, RunSpec):
+                raise TypeError(
+                    f"Runner.run expects RunSpec items, got {type(spec).__name__}"
+                )
+        if self.workers > 1 and len(spec_list) > 1:
+            return ResultSet(self._run_parallel(spec_list))
+        return ResultSet(self.run_one(spec) for spec in spec_list)
+
+    def _run_parallel(self, spec_list: list[RunSpec]) -> list[PrefetchRunStats]:
+        # One task per stream group: each (workload, scale, tlb, page
+        # size) is filtered exactly once across the pool, and big
+        # groups amortize their filter over many replays.
+        groups: OrderedDict[tuple, list[int]] = OrderedDict()
+        for index, spec in enumerate(spec_list):
+            groups.setdefault(spec.stream_key(), []).append(index)
+        workers = min(self.workers, len(groups), os.cpu_count() or 1)
+        results: list[PrefetchRunStats | None] = [None] * len(spec_list)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _run_group, tuple(spec_list[i] for i in indices)
+                ): indices
+                for indices in groups.values()
+            }
+            for future in as_completed(futures):
+                for index, stats in zip(futures[future], future.result()):
+                    results[index] = stats
+        return results  # type: ignore[return-value]

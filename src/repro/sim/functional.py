@@ -43,6 +43,11 @@ def simulate(
     mmu = build_mmu(prefetcher, config)
     warmup_limit = int(trace.total_references * config.warmup_fraction)
 
+    # Snapshot cumulative mechanism counters so a reused instance
+    # reports per-run deltas (mirrors replay_prefetcher).
+    issued_before = prefetcher.prefetches_issued
+    overhead_before = prefetcher.overhead_ops_total
+
     measured_misses = 0
     measured_hits = 0
     references_seen = 0
@@ -63,11 +68,11 @@ def simulate(
         tlb_misses=mmu.tlb_misses,
         measured_misses=measured_misses,
         pb_hits=measured_hits,
-        prefetches_issued=prefetcher.prefetches_issued,
+        prefetches_issued=prefetcher.prefetches_issued - issued_before,
         buffer_inserted=mmu.buffer.inserted,
         buffer_refreshed=mmu.buffer.refreshed,
         buffer_evicted_unused=mmu.buffer.evicted_unused,
-        overhead_memory_ops=prefetcher.overhead_ops_total,
+        overhead_memory_ops=prefetcher.overhead_ops_total - overhead_before,
         # A prefetch already buffered is coalesced, costing no new fetch.
         prefetch_fetch_ops=mmu.buffer.inserted,
     )

@@ -9,6 +9,7 @@ paper studies page sizes in Section 3.3 / TR [19]).
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -17,7 +18,10 @@ from repro.mem.trace import ReferenceTrace
 from repro.prefetch.base import Prefetcher
 from repro.sim.config import SimulationConfig, TLBConfig
 from repro.sim.stats import PrefetchRunStats
-from repro.sim.two_phase import filter_tlb, replay_prefetcher
+from repro.sim.two_phase import replay_prefetcher
+
+if TYPE_CHECKING:  # repro.run imports this module; avoid the cycle.
+    from repro.run.runner import Runner
 
 #: A named way of building a fresh mechanism for each sweep point.
 PrefetcherFactory = Callable[[], Prefetcher]
@@ -54,26 +58,32 @@ def sweep(
     traces: Iterable[ReferenceTrace],
     factories: Sequence[tuple[str, PrefetcherFactory]],
     configs: Sequence[SimulationConfig] | None = None,
+    runner: "Runner | None" = None,
 ) -> list[PrefetchRunStats]:
     """Run every (trace, mechanism factory, config) combination.
 
     Each sweep point gets a *fresh* mechanism from its factory (no state
     leaks between points) but shares the filtered miss stream for its
-    (trace, TLB) pair.
+    (trace, TLB) pair through the runner's process-wide cache — traces
+    are keyed by content, so repeating a sweep (or overlapping it with
+    a RunSpec batch over the same data) never refilters.
 
-    Returns the flat list of per-run statistics; each run's ``extra``
-    dict records the sweep coordinates.
+    This entry point exists for *ad-hoc* traces and factory callables;
+    registry workloads are better expressed as
+    :class:`~repro.run.spec.RunSpec` batches, which can also execute in
+    parallel. Returns the flat list of per-run statistics; each run's
+    ``extra`` dict records the sweep coordinates.
     """
+    from repro.run.runner import Runner
+
+    runner = runner if runner is not None else Runner()
     configs = list(configs) if configs is not None else [SimulationConfig()]
     results: list[PrefetchRunStats] = []
     for trace in traces:
-        miss_cache: dict[tuple[int, int], object] = {}
         for config in configs:
-            key = (config.tlb.entries, config.tlb.ways)
-            miss_trace = miss_cache.get(key)
-            if miss_trace is None:
-                miss_trace = filter_tlb(trace, config.tlb, config.warmup_fraction)
-                miss_cache[key] = miss_trace
+            miss_trace = runner.miss_stream(
+                trace, tlb=config.tlb, warmup_fraction=config.warmup_fraction
+            )
             for label, factory in factories:
                 stats = replay_prefetcher(
                     miss_trace,
@@ -103,10 +113,14 @@ def page_size_sweep(
     claim that DP "is able to make good predictions across different
     TLB configurations and page sizes".
     """
+    from repro.run.runner import Runner
+
+    runner = Runner()
     results: dict[int, PrefetchRunStats] = {}
     for page_size in page_sizes:
-        rescaled = rescale_trace(trace, page_size)
-        miss_trace = filter_tlb(rescaled, tlb or TLBConfig())
+        miss_trace = runner.miss_stream(
+            trace, tlb=tlb or TLBConfig(), page_size=page_size
+        )
         stats = replay_prefetcher(miss_trace, factory(), buffer_entries=buffer_entries)
         stats.extra["page_size"] = page_size
         results[page_size] = stats

@@ -13,8 +13,12 @@ us split simulation into:
    over that recorded miss stream.
 
 With ~20 mechanism configurations per workload (the Figure 7 sweep)
-this saves ~95% of simulation work. ``tests/test_two_phase_equivalence``
+this saves ~95% of simulation work. ``tests/test_two_phase``
 property-tests that both paths report identical statistics.
+
+These are the low-level building blocks; batch execution — with the
+miss streams cached process-wide and replays optionally fanned out to
+worker processes — goes through :class:`repro.run.Runner`.
 """
 
 from __future__ import annotations
@@ -94,6 +98,12 @@ def replay_prefetcher(
     pcs, pages, evicted, _ = miss_trace.as_lists()
     warmup = miss_trace.warmup_misses
 
+    # Mechanism counters are cumulative over the instance's lifetime;
+    # snapshot them so a reused (pre-trained) instance reports only
+    # this run's activity instead of inflating it with earlier runs'.
+    issued_before = prefetcher.prefetches_issued
+    overhead_before = prefetcher.overhead_ops_total
+
     pb_hits_measured = 0
     lookup_remove = buffer.lookup_remove
     insert = buffer.insert
@@ -116,11 +126,11 @@ def replay_prefetcher(
         tlb_misses=miss_trace.num_misses,
         measured_misses=miss_trace.measured_misses,
         pb_hits=pb_hits_measured,
-        prefetches_issued=prefetcher.prefetches_issued,
+        prefetches_issued=prefetcher.prefetches_issued - issued_before,
         buffer_inserted=buffer.inserted,
         buffer_refreshed=buffer.refreshed,
         buffer_evicted_unused=buffer.evicted_unused,
-        overhead_memory_ops=prefetcher.overhead_ops_total,
+        overhead_memory_ops=prefetcher.overhead_ops_total - overhead_before,
         # A prefetch already buffered is coalesced, costing no new fetch.
         prefetch_fetch_ops=buffer.inserted,
     )

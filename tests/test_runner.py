@@ -1,0 +1,287 @@
+"""Tests for the unified execution API: RunSpec, Runner, ResultSet.
+
+The contracts under test are the ones the rest of the library now
+builds on:
+
+- specs are frozen, hashable data with a *stable* content-addressed
+  key (identical across processes);
+- a Runner batch filters each (workload, scale, TLB, page size)
+  exactly once, however many mechanism configurations replay over it;
+- parallel execution is bit-identical to serial execution;
+- ResultSets round-trip through JSON losslessly.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownPrefetcherError
+from repro.run import MechanismSpec, MissStreamCache, ResultSet, Runner, RunSpec
+from repro.sim.config import TLBConfig
+from repro.sim.two_phase import evaluate
+from repro.workloads.registry import get_trace
+
+SCALE = 0.05
+
+
+def spec_of(app="galgel", mechanism="DP", **kwargs):
+    kwargs.setdefault("scale", SCALE)
+    return RunSpec.of(app, mechanism, **kwargs)
+
+
+class TestMechanismSpec:
+    def test_keyword_order_is_canonicalized(self):
+        assert MechanismSpec.of("DP", rows=128, slots=4) == MechanismSpec.of(
+            "DP", slots=4, rows=128
+        )
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(UnknownPrefetcherError):
+            MechanismSpec.of("nope")
+
+    def test_build_returns_fresh_instances(self):
+        spec = MechanismSpec.of("DP", rows=64)
+        assert spec.build() is not spec.build()
+        assert spec.build().prefetches_issued == 0
+
+    def test_label(self):
+        assert MechanismSpec.of("RP").label == "RP"
+        assert MechanismSpec.of("DP", rows=64).label == "DP(rows=64)"
+
+
+class TestRunSpec:
+    def test_specs_are_hashable_and_comparable(self):
+        assert spec_of() == spec_of()
+        assert len({spec_of(), spec_of(), spec_of(mechanism="RP")}) == 2
+
+    def test_key_is_deterministic_within_process(self):
+        assert spec_of().key() == spec_of().key()
+
+    def test_key_differs_across_every_field(self):
+        base = spec_of()
+        variants = [
+            spec_of(app="swim"),
+            spec_of(mechanism="RP"),
+            spec_of(scale=0.1),
+            spec_of(tlb=TLBConfig(entries=64)),
+            spec_of(buffer_entries=32),
+            spec_of(warmup_fraction=0.1),
+            spec_of(max_prefetches_per_miss=1),
+            spec_of(page_size=8192),
+            spec_of(rows=128),
+        ]
+        keys = {spec.key() for spec in variants}
+        assert base.key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_key_is_stable_across_processes(self):
+        """The key must not depend on PYTHONHASHSEED or object identity."""
+        spec = spec_of(rows=256, slots=2)
+        program = (
+            "from repro.run import RunSpec;"
+            f"print(RunSpec.of('galgel', 'DP', scale={SCALE}, rows=256, slots=2).key())"
+        )
+        child = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "7"},
+            cwd=str(__import__("pathlib").Path(__file__).parent.parent),
+        )
+        assert child.returncode == 0, child.stderr
+        assert child.stdout.strip() == spec.key()
+
+    def test_validation_is_the_librarys_own(self):
+        with pytest.raises(ConfigurationError):
+            spec_of(buffer_entries=0)
+        with pytest.raises(ConfigurationError):
+            spec_of(page_size=2048)
+        with pytest.raises(ConfigurationError):
+            spec_of(page_size=5000)
+        with pytest.raises(ConfigurationError):
+            spec_of(scale=0)
+
+    def test_stream_key_ignores_replay_only_fields(self):
+        assert spec_of().stream_key() == spec_of(
+            mechanism="RP", buffer_entries=64, max_prefetches_per_miss=2
+        ).stream_key()
+        assert spec_of().stream_key() != spec_of(tlb=TLBConfig(entries=64)).stream_key()
+
+    def test_derive(self):
+        derived = spec_of().derive(buffer_entries=32)
+        assert derived.buffer_entries == 32
+        assert derived.workload == "galgel"
+
+
+class TestRunnerCache:
+    def test_each_stream_filtered_exactly_once(self):
+        cache = MissStreamCache()
+        runner = Runner(cache=cache)
+        specs = [
+            spec_of(app, mechanism)
+            for app in ("galgel", "swim")
+            for mechanism in ("DP", "RP", "ASP", "MP")
+        ]
+        results = runner.run(specs)
+        assert len(results) == 8
+        assert cache.misses == 2  # one filter per workload
+        assert cache.hits == 6
+
+    def test_streams_shared_across_batches(self):
+        cache = MissStreamCache()
+        runner = Runner(cache=cache)
+        runner.run([spec_of(mechanism="DP")])
+        runner.run([spec_of(mechanism="RP")])
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_distinct_tlbs_distinct_streams(self):
+        cache = MissStreamCache()
+        runner = Runner(cache=cache)
+        runner.run(
+            [spec_of(), spec_of(tlb=TLBConfig(entries=64)), spec_of(page_size=8192)]
+        )
+        assert cache.misses == 3
+
+    def test_lru_eviction_is_bounded(self):
+        cache = MissStreamCache(maxsize=1)
+        runner = Runner(cache=cache)
+        runner.run([spec_of(), spec_of(tlb=TLBConfig(entries=64)), spec_of()])
+        assert len(cache) == 1
+        assert cache.misses == 3  # second galgel run was evicted
+
+    def test_results_match_single_run_wrapper(self):
+        stats = Runner(cache=MissStreamCache()).run([spec_of(rows=256)])[0]
+        reference = evaluate(
+            get_trace("galgel", SCALE), spec_of(rows=256).build_prefetcher()
+        )
+        assert stats.pb_hits == reference.pb_hits
+        assert stats.prefetches_issued == reference.prefetches_issued
+        assert stats.tlb_misses == reference.tlb_misses
+
+    def test_ad_hoc_traces_keyed_by_content(self):
+        cache = MissStreamCache()
+        runner = Runner(cache=cache)
+        first = runner.miss_stream(get_trace("galgel", SCALE))
+        again = runner.miss_stream(get_trace("galgel", SCALE))
+        assert again is first
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_equal_content_traces_keep_their_own_names(self):
+        """A content-cache hit must not relabel the caller's workload."""
+        from repro.mem.trace import ReferenceTrace
+
+        runner = Runner(cache=MissStreamCache())
+        pages = list(range(40))
+        before = ReferenceTrace([0] * 40, pages, [1] * 40, name="before")
+        after = ReferenceTrace([0] * 40, pages, [1] * 40, name="after")
+        assert runner.miss_stream(before).name == "before"
+        assert runner.miss_stream(after).name == "after"
+
+    def test_rejects_non_specs(self):
+        with pytest.raises(TypeError):
+            Runner().run(["galgel"])
+
+
+class TestParallelExecution:
+    def test_workers_bit_identical_to_serial(self):
+        specs = [
+            spec_of(app, mechanism)
+            for app in ("galgel", "swim", "eon")
+            for mechanism in ("DP", "RP", "SP")
+        ]
+        serial = Runner(cache=MissStreamCache()).run(specs)
+        parallel = Runner(workers=2, cache=MissStreamCache()).run(specs)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_figure7_style_sweep_parallel(self):
+        """The acceptance-criteria shape: a Figure-7 sweep through
+        ``workers=4`` matches serial execution row for row, while each
+        workload's TLB is filtered exactly once."""
+        from repro.analysis.figures import figure7_configs
+
+        apps = ("galgel", "eon")
+        specs = [
+            spec_of(app, config.mechanism, **config.factory_params())
+            for app in apps
+            for config in figure7_configs()
+        ]
+        serial_cache = MissStreamCache()
+        serial = Runner(cache=serial_cache).run(specs)
+        parallel = Runner(workers=4, cache=MissStreamCache()).run(specs)
+        assert serial.to_json() == parallel.to_json()
+        assert serial_cache.misses == len(apps)
+        assert serial_cache.hits == len(specs) - len(apps)
+
+
+class TestResultSet:
+    @pytest.fixture(scope="class")
+    def results(self):
+        specs = [
+            spec_of(app, mechanism)
+            for app in ("galgel", "swim")
+            for mechanism in ("DP", "RP")
+        ]
+        return Runner(cache=MissStreamCache()).run(specs)
+
+    def test_sequence_protocol(self, results):
+        assert len(results) == 4
+        assert results[0].workload == "galgel"
+        assert isinstance(results[1:3], ResultSet)
+        assert len(results[1:3]) == 2
+
+    def test_filter_by_field_and_extra(self, results):
+        assert len(results.filter(workload="galgel")) == 2
+        assert len(results.filter(mechanism_name="DP")) == 2
+        assert len(results.filter(workload="galgel", mechanism_name="DP")) == 1
+        assert len(results.filter(lambda run: run.prediction_accuracy > 2)) == 0
+
+    def test_filter_unknown_field_raises(self, results):
+        with pytest.raises(KeyError):
+            results.filter(flavour="salty")
+
+    def test_group_by(self, results):
+        by_workload = results.group_by("workload")
+        assert set(by_workload) == {"galgel", "swim"}
+        assert all(len(group) == 2 for group in by_workload.values())
+
+    def test_pivot(self, results):
+        table = results.pivot(columns="mechanism_name")
+        assert set(table) == {"galgel", "swim"}
+        assert set(table["galgel"]) == {"DP", "RP"}
+        assert 0.0 <= table["galgel"]["DP"] <= 1.0
+
+    def test_to_rows_includes_derived_and_extra(self, results):
+        row = results.to_rows()[0]
+        assert row["workload"] == "galgel"
+        assert "prediction_accuracy" in row
+        assert "spec_key" in row
+        named = results.to_rows(["workload", "miss_rate"])[0]
+        assert set(named) == {"workload", "miss_rate"}
+
+    def test_json_round_trip(self, results, tmp_path):
+        path = results.save(tmp_path / "results.json")
+        loaded = ResultSet.load(path)
+        assert loaded == results
+        assert loaded.to_json() == results.to_json()
+
+    def test_from_json_rejects_unknown_schema(self):
+        with pytest.raises(ValueError):
+            ResultSet.from_json('{"schema": "other/v9", "runs": []}')
+
+    def test_concatenation(self, results):
+        combined = results + results
+        assert len(combined) == 8
+
+
+class TestExperimentContextIntegration:
+    def test_context_executes_through_runner(self):
+        from repro.analysis.experiments import ExperimentContext
+
+        cache = MissStreamCache()
+        context = ExperimentContext(scale=SCALE, runner=Runner(cache=cache))
+        figure = context.run_figure(["galgel"], None)
+        assert "galgel" in figure
+        assert cache.misses == 1  # one workload, one TLB shape, one filter
+        assert cache.hits == len(next(iter(figure.values()))) - 1

@@ -141,3 +141,47 @@ class TestReplay:
         assert stats.pb_hits == 0
         assert stats.prefetches_issued == 0
         assert stats.prediction_accuracy == 0.0
+
+
+class TestReusedMechanismCounters:
+    """Mechanism counters are cumulative over the instance's lifetime;
+    per-run stats must report deltas, or reusing one instance across
+    runs double-counts the earlier runs' activity."""
+
+    def test_replay_reports_per_run_deltas(self):
+        trace = make_trace(list(range(100)))
+        miss_trace = filter_tlb(trace, TLBConfig(entries=8))
+        prefetcher = create_prefetcher("SP", degree=2)
+        first = replay_prefetcher(miss_trace, prefetcher)
+        second = replay_prefetcher(miss_trace, prefetcher)
+        assert first.prefetches_issued > 0
+        # The instance's cumulative total is exactly the sum of the
+        # per-run reports — nothing was counted twice.
+        assert (
+            prefetcher.prefetches_issued
+            == first.prefetches_issued + second.prefetches_issued
+        )
+
+    def test_replay_overhead_ops_are_deltas(self):
+        trace = make_trace(list(range(100)))
+        miss_trace = filter_tlb(trace, TLBConfig(entries=8))
+        prefetcher = create_prefetcher("RP")  # 4 pointer writes per miss
+        first = replay_prefetcher(miss_trace, prefetcher)
+        second = replay_prefetcher(miss_trace, prefetcher)
+        assert first.overhead_memory_ops > 0
+        assert (
+            prefetcher.overhead_ops_total
+            == first.overhead_memory_ops + second.overhead_memory_ops
+        )
+
+    def test_online_simulate_reports_per_run_deltas(self):
+        trace = make_trace(list(range(100)))
+        config = SimulationConfig(tlb=TLBConfig(entries=8))
+        prefetcher = create_prefetcher("SP", degree=2)
+        first = simulate(trace, prefetcher, config)
+        second = simulate(trace, prefetcher, config)
+        assert first.prefetches_issued > 0
+        assert (
+            prefetcher.prefetches_issued
+            == first.prefetches_issued + second.prefetches_issued
+        )
