@@ -3,7 +3,10 @@
 
 Times a representative batch (a handful of workloads x the full
 Figure 7 mechanism legend) through the unified :class:`repro.Runner`
-and emits a machine-readable JSON record — the data point CI tracks to
+on *both* replay engines — the authoritative reference engine and the
+vectorized fast path (:mod:`repro.sim.fastpath`) — verifies their rows
+are bit-identical, and emits a machine-readable JSON record with the
+wall-clock speedup. CI tracks this record (``BENCH_smoke.json``) to
 watch the execution path's performance trajectory over time.
 
 Run:  PYTHONPATH=src python benchmarks/smoke.py --out BENCH_smoke.json
@@ -18,7 +21,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro import MissStreamCache, Runner, RunSpec
+from repro import ENGINES, MissStreamCache, Runner, RunSpec
 from repro.analysis.figures import figure7_configs
 
 #: Small but behaviour-diverse: strided, pointer-walk, interleaved, noise.
@@ -30,19 +33,70 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="BENCH_smoke.json", help="output JSON path")
     parser.add_argument("--scale", type=float, default=0.1, help="workload scale")
     parser.add_argument("--workers", type=int, default=0, help="process-pool size")
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="fast",
+        help="engine for the timed primary batch (compared against reference)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repetitions per engine; the fastest is recorded "
+        "(noise-robust: scheduler interference only ever slows a run down)",
+    )
     args = parser.parse_args(argv)
 
     specs = [
-        RunSpec.of(app, config.mechanism, scale=args.scale, **config.factory_params())
+        RunSpec.of(
+            app,
+            config.mechanism,
+            scale=args.scale,
+            engine=args.engine,
+            **config.factory_params(),
+        )
         for app in SMOKE_APPS
         for config in figure7_configs()
     ]
     cache = MissStreamCache()
-    runner = Runner(workers=args.workers, cache=cache)
+    runner = Runner(cache=cache)
 
+    # Phase 1 (TLB filtering) is shared by every engine and cached;
+    # time it separately so the engine comparison is replay-only.
     started = time.perf_counter()
-    results = runner.run(specs)
-    elapsed = time.perf_counter() - started
+    for spec in specs:
+        runner.miss_stream_for(spec)
+    filter_elapsed = time.perf_counter() - started
+    filters = cache.misses
+
+    # Interleave the repetitions so slow drifts in machine load hit
+    # both engines alike; keep each engine's fastest wall-clock.
+    reference_specs = [spec.derive(engine="reference") for spec in specs]
+    reference_elapsed = elapsed = float("inf")
+    reference = results = None
+    for _ in range(max(1, args.repeats)):
+        started = time.perf_counter()
+        reference = runner.run(reference_specs)
+        reference_elapsed = min(reference_elapsed, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        results = runner.run(specs)
+        elapsed = min(elapsed, time.perf_counter() - started)
+
+    engines_identical = results.to_json() == reference.to_json()
+    speedup = reference_elapsed / elapsed if elapsed else 0.0
+
+    # The parallel run is a Runner check, not an engine comparison: it
+    # filters inside the worker processes, so its wall-clock includes
+    # TLB filtering and is NOT comparable to the replay-only timings.
+    parallel_elapsed = None
+    parallel_identical = None
+    if args.workers > 1:
+        started = time.perf_counter()
+        parallel = Runner(workers=args.workers, cache=MissStreamCache()).run(specs)
+        parallel_elapsed = round(time.perf_counter() - started, 4)
+        parallel_identical = parallel.to_json() == reference.to_json()
 
     # Track the paper's representative DP configuration explicitly
     # (r=256, direct-mapped) — pivot would silently keep whichever DP
@@ -53,13 +107,18 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "scale": args.scale,
         "workers": args.workers,
+        "engine": args.engine,
         "specs": len(specs),
         "workloads": len(SMOKE_APPS),
+        "tlb_filters": filters,
+        "tlb_filter_seconds": round(filter_elapsed, 4),
         "elapsed_seconds": round(elapsed, 4),
-        "specs_per_second": round(len(specs) / elapsed, 2),
-        # In serial mode these prove the filter-once contract; in
-        # parallel mode filtering happens inside the workers.
-        "tlb_filters": cache.misses,
+        "elapsed_reference_seconds": round(reference_elapsed, 4),
+        "elapsed_parallel_total_seconds": parallel_elapsed,
+        "speedup_vs_reference": round(speedup, 2),
+        "engines_identical": engines_identical,
+        "parallel_identical": parallel_identical,
+        "specs_per_second": round(len(specs) / elapsed, 2) if elapsed else 0.0,
         "stream_cache_hits": cache.hits,
         "mean_dp256_accuracy": round(
             sum(run.prediction_accuracy for run in dp_repr) / len(dp_repr), 4
@@ -76,10 +135,17 @@ def main(argv: list[str] | None = None) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(record, indent=2) + "\n")
     print(
-        f"[smoke] {len(specs)} specs in {elapsed:.2f}s "
-        f"({record['specs_per_second']} specs/s, {cache.misses} TLB filters) "
-        f"-> {out}"
+        f"[smoke] {len(specs)} specs: engine={args.engine} {elapsed:.2f}s vs "
+        f"reference {reference_elapsed:.2f}s -> {speedup:.2f}x speedup, "
+        f"bit-identical={engines_identical} "
+        f"({record['specs_per_second']} specs/s, {filters} TLB filters) -> {out}"
     )
+    if not engines_identical:
+        print("[smoke] ERROR: engines diverged — fast path is not bit-identical")
+        return 1
+    if parallel_identical is False:
+        print("[smoke] ERROR: parallel batch diverged from serial (Runner bug)")
+        return 1
     return 0
 
 

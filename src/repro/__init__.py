@@ -66,6 +66,8 @@ from repro.prefetch.stride import ArbitraryStridePrefetcher
 from repro.run import MechanismSpec, MissStreamCache, ResultSet, Runner, RunSpec
 from repro.sim.config import SimulationConfig, TLBConfig
 from repro.sim.cycle import CycleSimConfig, CycleStats, normalized_cycles, simulate_cycles
+from repro.sim.engine import ENGINES, resolve_engine
+from repro.sim.fastpath import replay_fast
 from repro.sim.functional import simulate
 from repro.sim.stats import PrefetchRunStats
 from repro.sim.two_phase import evaluate, filter_tlb, replay_prefetcher
@@ -92,6 +94,7 @@ __all__ = [
     "CycleStats",
     "DistancePairPrefetcher",
     "DistancePrefetcher",
+    "ENGINES",
     "HIGH_MISS_APPS",
     "HardwareDescription",
     "MMU",
@@ -136,7 +139,9 @@ __all__ = [
     "load_miss_trace",
     "load_reference_trace",
     "normalized_cycles",
+    "replay_fast",
     "replay_prefetcher",
+    "resolve_engine",
     "save_miss_trace",
     "save_reference_trace",
     "simulate",

@@ -65,6 +65,9 @@ class ExperimentContext:
             supplied explicitly.
         runner: the execution engine; defaults to a fresh one over the
             process-wide miss-stream cache.
+        engine: replay engine stamped on every spec this context
+            builds — ``"auto"`` (default), ``"reference"`` or
+            ``"fast"``; see :mod:`repro.sim.engine`.
     """
 
     def __init__(
@@ -73,10 +76,12 @@ class ExperimentContext:
         buffer_entries: int = 16,
         workers: int | None = None,
         runner: Runner | None = None,
+        engine: str = "auto",
     ) -> None:
         self.scale = scale
         self.buffer_entries = buffer_entries
         self.runner = runner if runner is not None else Runner(workers=workers)
+        self.engine = engine
 
     def spec(
         self,
@@ -93,6 +98,7 @@ class ExperimentContext:
             scale=self.scale,
             tlb=tlb if tlb is not None else TLBConfig(),
             buffer_entries=buffer_entries or self.buffer_entries,
+            engine=self.engine,
         )
 
     def run_specs(self, specs: Sequence[RunSpec]) -> ResultSet:

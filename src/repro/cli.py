@@ -4,6 +4,7 @@ Examples::
 
     repro-tlb list-apps
     repro-tlb run --app galgel --mechanism DP --rows 256 --scale 0.25
+    repro-tlb run --app galgel --mechanism DP --engine reference
     repro-tlb run --app galgel --save galgel_dp.json
     repro-tlb table1
     repro-tlb table2 --scale 0.5
@@ -30,6 +31,7 @@ from repro.analysis.tables import compare_table2, compare_table3
 from repro.mem.trace_io import load_reference_trace, save_reference_trace
 from repro.prefetch.factory import PREFETCHER_NAMES, create_prefetcher
 from repro.run import ResultSet, Runner, RunSpec
+from repro.sim.engine import ENGINES
 from repro.sim.two_phase import evaluate
 from repro.workloads.registry import SUITES, all_app_names, get_app, get_trace
 
@@ -49,6 +51,19 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=0,
         help="process-pool size for batch execution (0 = serial)",
+    )
+
+
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="auto",
+        help=(
+            "replay engine: auto (fast path when eligible), reference "
+            "(authoritative object-driven replay), or fast (forced fast "
+            "path); all engines are bit-identical"
+        ),
     )
 
 
@@ -81,6 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save", help="also write the run as a ResultSet JSON file (path)"
     )
     _add_scale(run)
+    _add_engine(run)
 
     export = sub.add_parser(
         "export-trace", help="write an application's reference trace to .npz"
@@ -121,6 +137,7 @@ def _build_parser() -> argparse.ArgumentParser:
     table2 = sub.add_parser("table2", help="regenerate Table 2 (accuracy averages)")
     _add_scale(table2)
     _add_workers(table2)
+    _add_engine(table2)
 
     table3 = sub.add_parser("table3", help="regenerate Table 3 (normalized cycles)")
     _add_scale(table3)
@@ -132,6 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
         fig = sub.add_parser(figure, help=f"regenerate {figure} ({description})")
         _add_scale(fig)
         _add_workers(fig)
+        _add_engine(fig)
 
     figure9 = sub.add_parser("figure9", help="regenerate Figure 9 (DP sensitivity)")
     figure9.add_argument(
@@ -142,6 +160,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_scale(figure9)
     _add_workers(figure9)
+    _add_engine(figure9)
 
     return parser
 
@@ -162,7 +181,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         prefetcher = create_prefetcher(args.mechanism, rows=args.rows, slots=args.slots)
         trace = load_reference_trace(args.trace_file)
         stats = evaluate(
-            trace, prefetcher, SimulationConfig(buffer_entries=args.buffer)
+            trace,
+            prefetcher,
+            SimulationConfig(buffer_entries=args.buffer),
+            engine=args.engine,
         )
         results = ResultSet([stats])
     else:
@@ -172,6 +194,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.mechanism,
             scale=args.scale,
             buffer_entries=args.buffer,
+            engine=args.engine,
             rows=args.rows,
             slots=args.slots,
         )
@@ -255,7 +278,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     context = ExperimentContext(
-        scale=args.scale, workers=getattr(args, "workers", 0)
+        scale=args.scale,
+        workers=getattr(args, "workers", 0),
+        engine=getattr(args, "engine", "auto"),
     )
     if args.command == "table2":
         print(compare_table2(context.run_table2()))

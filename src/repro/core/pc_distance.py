@@ -80,6 +80,13 @@ class PCDistancePrefetcher(Prefetcher):
         self._prev_page = None
         self._prev_key = None
 
+    def has_prediction_state(self) -> bool:
+        return (
+            len(self.table) > 0
+            or self._prev_page is not None
+            or self._prev_key is not None
+        )
+
     @property
     def label(self) -> str:
         return f"{self.name},{self.table.rows},{self.table.assoc_label}"

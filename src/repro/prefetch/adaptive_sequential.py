@@ -78,6 +78,9 @@ class AdaptiveSequentialPrefetcher(Prefetcher):
         self._window_misses = 0
         self._window_hits = 0
 
+    def has_prediction_state(self) -> bool:
+        return self.degree != 1 or self._window_misses > 0
+
     @property
     def label(self) -> str:
         return f"{self.name},k<={self.max_degree}"

@@ -99,6 +99,17 @@ class Prefetcher(abc.ABC):
     def flush(self) -> None:
         """Drop on-chip prediction state (context switch). Default no-op."""
 
+    def has_prediction_state(self) -> bool:
+        """Whether the instance has learned anything since construction.
+
+        Stateful subclasses override this to report *any* trained
+        state — tables, history registers, adaptation counters — not
+        just statistics. The fast replay engine
+        (:mod:`repro.sim.fastpath`) rebuilds mechanism state from
+        scratch, so it only accepts instances where this is False.
+        """
+        return False
+
     def reset_stats(self) -> None:
         """Zero cumulative counters without touching prediction state."""
         self.last_overhead_ops = 0

@@ -60,6 +60,9 @@ class MarkovPrefetcher(Prefetcher):
         self.table.flush()
         self._prev_page = None
 
+    def has_prediction_state(self) -> bool:
+        return len(self.table) > 0 or self._prev_page is not None
+
     @property
     def label(self) -> str:
         return f"{self.name},{self.table.rows},{self.table.assoc_label}"

@@ -71,6 +71,10 @@ class RecencyPrefetcher(Prefetcher):
     def flush(self) -> None:
         """No on-chip state: the recency stack lives in the page table."""
 
+    def has_prediction_state(self) -> bool:
+        """True once any PTE exists: the stack state survives flushes."""
+        return len(self.page_table) > 0
+
     @property
     def label(self) -> str:
         return f"{self.name}3" if self.variant_three else self.name

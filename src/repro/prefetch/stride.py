@@ -104,6 +104,9 @@ class ArbitraryStridePrefetcher(Prefetcher):
     def flush(self) -> None:
         self.table.flush()
 
+    def has_prediction_state(self) -> bool:
+        return len(self.table) > 0
+
     @property
     def label(self) -> str:
         return f"{self.name},{self.table.rows}"

@@ -164,11 +164,40 @@ class ResultSet(Sequence[PrefetchRunStats]):
 
     @classmethod
     def from_json(cls, text: str) -> "ResultSet":
+        """Parse :meth:`to_json` output, failing loudly on any other shape.
+
+        Files saved by a different (older or newer) schema raise
+        :class:`ValueError` with the offending schema named — never a
+        bare ``KeyError``/``TypeError`` from the row constructor.
+        """
         payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"not a ResultSet file: expected a JSON object, got "
+                f"{type(payload).__name__}"
+            )
         schema = payload.get("schema")
         if schema != _SCHEMA:
-            raise ValueError(f"unsupported ResultSet schema: {schema!r}")
-        return cls(PrefetchRunStats(**run) for run in payload["runs"])
+            raise ValueError(
+                f"unsupported ResultSet schema: {schema!r} (this library "
+                f"reads {_SCHEMA!r}); re-save the results with this version"
+            )
+        runs_payload = payload.get("runs")
+        if not isinstance(runs_payload, list):
+            raise ValueError(
+                f"ResultSet file declares schema {_SCHEMA!r} but has no "
+                "'runs' list"
+            )
+        runs = []
+        for position, run in enumerate(runs_payload):
+            try:
+                runs.append(PrefetchRunStats(**run))
+            except TypeError as exc:
+                raise ValueError(
+                    f"run {position} does not match schema {_SCHEMA!r} "
+                    f"(saved by another version?): {exc}"
+                ) from exc
+        return cls(runs)
 
     def save(self, path: str | Path) -> Path:
         """Write the set to ``path`` as JSON; returns the path."""

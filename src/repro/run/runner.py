@@ -29,9 +29,10 @@ from repro.mem.trace import MissTrace, ReferenceTrace
 from repro.run.results import ResultSet
 from repro.run.spec import RunSpec
 from repro.sim.config import TLBConfig
+from repro.sim.engine import replay as engine_replay
 from repro.sim.stats import PrefetchRunStats
 from repro.sim.sweep import rescale_trace
-from repro.sim.two_phase import filter_tlb, replay_prefetcher
+from repro.sim.two_phase import filter_tlb
 from repro.workloads.registry import get_trace
 
 
@@ -100,12 +101,19 @@ def build_miss_stream(spec: RunSpec) -> MissTrace:
 
 
 def _replay(spec: RunSpec, miss_trace: MissTrace) -> PrefetchRunStats:
-    """Phase 2 for a spec, annotated with its identity coordinates."""
-    stats = replay_prefetcher(
+    """Phase 2 for a spec, annotated with its identity coordinates.
+
+    The replay engine comes from ``spec.engine`` (``auto`` by default:
+    the fast path whenever the mechanism is eligible, the reference
+    engine otherwise — bit-identical either way, see
+    :mod:`repro.sim.engine`).
+    """
+    stats = engine_replay(
         miss_trace,
         spec.build_prefetcher(),
         buffer_entries=spec.buffer_entries,
         max_prefetches_per_miss=spec.max_prefetches_per_miss,
+        engine=spec.engine,
     )
     stats.extra["spec_key"] = spec.key()
     stats.extra["mechanism_name"] = spec.mechanism.name

@@ -29,6 +29,7 @@ from repro.mem.address import DEFAULT_PAGE_SIZE, page_shift_for_size
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.factory import PREFETCHER_NAMES, create_prefetcher
 from repro.sim.config import SimulationConfig, TLBConfig
+from repro.sim.engine import validate_engine
 
 
 @dataclass(frozen=True)
@@ -81,6 +82,12 @@ class RunSpec:
         max_prefetches_per_miss: engine-level prefetch clamp, 0 = none.
         page_size: page size in bytes; traces are generated at 4 KiB and
             exactly re-aggregated for larger pages (superpage studies).
+        engine: replay engine — ``"auto"`` (fast path when eligible,
+            the default), ``"reference"``, or ``"fast"`` (forced; see
+            :mod:`repro.sim.engine`). Engines are bit-identical by
+            contract, so the engine is *execution metadata*: it is
+            excluded from :meth:`canonical`/:meth:`key` and result
+            rows from different engines join and compare freely.
     """
 
     workload: str
@@ -91,8 +98,10 @@ class RunSpec:
     warmup_fraction: float = 0.0
     max_prefetches_per_miss: int = 0
     page_size: int = DEFAULT_PAGE_SIZE
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
+        validate_engine(self.engine)
         # SimulationConfig owns the knob invariants; building one
         # validates buffer/warmup/clamp with the library's own errors.
         self.config()
@@ -116,6 +125,7 @@ class RunSpec:
         warmup_fraction: float = 0.0,
         max_prefetches_per_miss: int = 0,
         page_size: int = DEFAULT_PAGE_SIZE,
+        engine: str = "auto",
         **mechanism_params: int,
     ) -> "RunSpec":
         """Ergonomic constructor: ``RunSpec.of("galgel", "DP", rows=256)``."""
@@ -128,6 +138,7 @@ class RunSpec:
             warmup_fraction=warmup_fraction,
             max_prefetches_per_miss=max_prefetches_per_miss,
             page_size=page_size,
+            engine=engine,
         )
 
     def derive(self, **changes: object) -> "RunSpec":
@@ -164,7 +175,12 @@ class RunSpec:
         )
 
     def canonical(self) -> str:
-        """Canonical one-line text form (the input to :meth:`key`)."""
+        """Canonical one-line text form (the input to :meth:`key`).
+
+        Deliberately excludes :attr:`engine`: engines are bit-identical
+        (differential-tested), so two runs of the same spec on
+        different engines share one identity.
+        """
         mech = f"{self.mechanism.name}[" + ",".join(
             f"{k}={v}" for k, v in self.mechanism.params
         ) + "]"

@@ -4,10 +4,17 @@
 - :mod:`repro.sim.stats` — per-run statistics containers.
 - :mod:`repro.sim.functional` — online functional simulation of the
   full MMU pipeline (the sim-cache analogue).
-- :mod:`repro.sim.two_phase` — fast path: filter the TLB once per
-  (workload, TLB config), then replay only the miss stream per
-  prefetcher. Exactly equivalent to the functional path (property-
-  tested) because prefetching cannot change the TLB miss stream.
+- :mod:`repro.sim.two_phase` — reference two-phase path: filter the
+  TLB once per (workload, TLB config), then replay only the miss
+  stream per prefetcher. Exactly equivalent to the functional path
+  (property-tested) because prefetching cannot change the TLB miss
+  stream.
+- :mod:`repro.sim.fastpath` — vectorized fast-path replay: each
+  mechanism compiled into one flat-array loop, bit-identical to the
+  reference replay (enforced by ``tests/differential/``).
+- :mod:`repro.sim.engine` — engine selection (``auto`` / ``reference``
+  / ``fast``) shared by ``RunSpec``, ``evaluate``, ``simulate`` and
+  the CLI.
 - :mod:`repro.sim.cycle` — execution-cycle timing model (the
   sim-outorder analogue behind the paper's Table 3).
 - :mod:`repro.sim.sweep` — parameter-sweep drivers for the sensitivity
@@ -18,6 +25,8 @@
 
 from repro.sim.config import SimulationConfig, TLBConfig
 from repro.sim.cycle import CycleSimConfig, CycleStats, simulate_cycles
+from repro.sim.engine import ENGINES, replay, resolve_engine
+from repro.sim.fastpath import replay_fast
 from repro.sim.functional import simulate
 from repro.sim.stats import PrefetchRunStats
 from repro.sim.two_phase import filter_tlb, replay_prefetcher
@@ -25,11 +34,15 @@ from repro.sim.two_phase import filter_tlb, replay_prefetcher
 __all__ = [
     "CycleSimConfig",
     "CycleStats",
+    "ENGINES",
     "PrefetchRunStats",
     "SimulationConfig",
     "TLBConfig",
     "filter_tlb",
+    "replay",
+    "replay_fast",
     "replay_prefetcher",
+    "resolve_engine",
     "simulate",
     "simulate_cycles",
 ]

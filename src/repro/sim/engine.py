@@ -1,0 +1,90 @@
+"""Replay-engine selection: reference semantics or the fast path.
+
+Two engines can replay a mechanism over a TLB miss stream:
+
+- ``"reference"`` — :func:`repro.sim.two_phase.replay_prefetcher`,
+  driving live :class:`~repro.prefetch.base.Prefetcher` /
+  :class:`~repro.tlb.prefetch_buffer.PrefetchBuffer` objects. This is
+  the authoritative engine: the paper's numbers come from it.
+- ``"fast"`` — :func:`repro.sim.fastpath.replay_fast`, the specialized
+  flat-array loops, bit-identical by contract (and by the
+  ``tests/differential/`` harness) but several times faster.
+
+``"auto"`` picks the fast engine whenever it is safe: the mechanism
+must have a fast loop and must be untrained (the fast engine rebuilds
+state from scratch). Everything else falls back to the reference
+engine, so ``auto`` is always correct to request.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.mem.trace import MissTrace
+from repro.prefetch.base import Prefetcher
+from repro.sim import fastpath
+from repro.sim.stats import PrefetchRunStats
+from repro.sim.two_phase import replay_prefetcher
+
+#: Engine names accepted everywhere an ``engine`` knob appears
+#: (``RunSpec``, ``Runner``, ``evaluate``, ``simulate``, the CLI).
+ENGINES: tuple[str, ...] = ("auto", "reference", "fast")
+
+
+def validate_engine(engine: str) -> str:
+    """Return ``engine`` or raise the library's configuration error."""
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose from {ENGINES}"
+        )
+    return engine
+
+
+def fast_available(prefetcher: Prefetcher) -> bool:
+    """True when ``engine="fast"`` can replay this mechanism at all."""
+    return fastpath.supports(prefetcher)
+
+
+def fast_preferred(prefetcher: Prefetcher) -> bool:
+    """True when ``engine="auto"`` would pick the fast engine.
+
+    ``auto`` falls back to the reference engine for mechanisms without
+    a fast loop (e.g. user-defined subclasses) and for instances that
+    carry trained state — the fast engine always replays from scratch.
+    """
+    return fastpath.supports(prefetcher) and fastpath.is_fresh(prefetcher)
+
+
+def resolve_engine(prefetcher: Prefetcher, engine: str = "auto") -> str:
+    """The concrete engine (``reference`` or ``fast``) a replay will use."""
+    validate_engine(engine)
+    if engine == "auto":
+        return "fast" if fast_preferred(prefetcher) else "reference"
+    return engine
+
+
+def replay(
+    miss_trace: MissTrace,
+    prefetcher: Prefetcher,
+    buffer_entries: int = 16,
+    max_prefetches_per_miss: int = 0,
+    engine: str = "auto",
+) -> PrefetchRunStats:
+    """Replay one mechanism over a miss stream on the selected engine.
+
+    Both engines return identical statistics for a fresh mechanism;
+    they differ in side effects: the reference engine trains the given
+    instance, the fast engine leaves it untouched.
+    """
+    if resolve_engine(prefetcher, engine) == "fast":
+        return fastpath.replay_fast(
+            miss_trace,
+            prefetcher,
+            buffer_entries=buffer_entries,
+            max_prefetches_per_miss=max_prefetches_per_miss,
+        )
+    return replay_prefetcher(
+        miss_trace,
+        prefetcher,
+        buffer_entries=buffer_entries,
+        max_prefetches_per_miss=max_prefetches_per_miss,
+    )

@@ -1,0 +1,966 @@
+"""Vectorized fast-path replay engine: flat-array state, no dispatch.
+
+:func:`repro.sim.two_phase.replay_prefetcher` is the *reference*
+replay: it drives a live :class:`~repro.prefetch.base.Prefetcher`
+object and the real :class:`~repro.tlb.prefetch_buffer.PrefetchBuffer`
+miss by miss, paying a stack of method calls, ``OrderedDict``
+operations and per-entry objects for every one of the millions of
+misses a sweep replays. This module is the *fast* replay: each
+mechanism's whole decision procedure is compiled into one specialized
+Python loop whose state lives in flat parallel lists indexed by
+integers (plus plain dicts for the prefetch buffer and for
+set-associative tables), with statistics accumulated in local counters
+rather than per-reference objects. The miss stream itself is
+precompiled once into flat lists (and, for recency prefetching, a
+dense ``numpy`` page-id mapping) before the loop starts.
+
+The contract is **bit-identical statistics**: for a freshly-built
+mechanism, :func:`replay_fast` returns exactly the
+:class:`~repro.sim.stats.PrefetchRunStats` the reference engine
+returns, field for field. That contract is enforced by
+``tests/differential/`` — a curated grid over every mechanism family,
+workload family and page size, plus seeded randomized traces/specs —
+and any change here must keep that suite green.
+
+Unlike the reference engine, the fast engine never mutates the
+mechanism instance it is given: the instance serves only as a
+*configuration template* (rows, ways, slots, degree...), and replay
+state is rebuilt from scratch. Callers who rely on training an
+instance across runs must use the reference engine; the
+``engine="auto"`` dispatch in :mod:`repro.sim.engine` falls back to it
+automatically when an instance has prior state.
+
+Implementation notes shared by every loop below:
+
+- The prefetch buffer is a plain insertion-ordered dict whose first
+  key is the LRU entry; its population is tracked in a local integer
+  (``buffered``) so the hot path never calls ``len``.
+- Each loop replicates, operation for operation, what
+  ``replay_prefetcher`` does with the corresponding mechanism class:
+  (1) probe the buffer, removing on hit (hits count after warm-up);
+  (2) run the decision procedure, counting every page the mechanism
+  *asks* to prefetch (pre-clamp, as ``Prefetcher.account`` does);
+  (3) clamp to ``max_prefetches_per_miss`` and insert into the buffer
+  with refresh-on-duplicate and evicted-unused accounting.
+- Prediction tables are flat parallel arrays for the direct-mapped
+  case (dict-free integer indexing) and per-set plain dicts — first
+  key = LRU, delete/reinsert = promote — for other associativities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import DistancePrefetcher
+from repro.core.distance_pair import DistancePairPrefetcher, pack_distance_pair
+from repro.core.pc_distance import PCDistancePrefetcher, pack_pc_distance
+from repro.errors import ConfigurationError
+from repro.mem.trace import MissTrace
+from repro.prefetch.adaptive_sequential import AdaptiveSequentialPrefetcher
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.null import NullPrefetcher
+from repro.prefetch.recency import RecencyPrefetcher
+from repro.prefetch.sequential import SequentialPrefetcher
+from repro.prefetch.stride import ArbitraryStridePrefetcher
+
+
+def compile_stream(miss_trace: MissTrace) -> tuple[list[int], list[int], list[int], int]:
+    """Precompile a miss stream into flat lists for the replay loops.
+
+    Returns ``(pcs, pages, evicted, warmup_misses)`` as plain Python
+    int lists (memoized on the trace), which index faster in the hot
+    loops than numpy scalars.
+    """
+    pcs, pages, evicted, _ = miss_trace.as_lists()
+    return pcs, pages, evicted, miss_trace.warmup_misses
+
+
+class _Counters:
+    """Per-run statistics accumulated by every fast replay loop."""
+
+    __slots__ = ("pb_hits", "issued", "inserted", "refreshed", "evicted_unused", "overhead")
+
+    def __init__(self) -> None:
+        self.pb_hits = 0
+        self.issued = 0
+        self.inserted = 0
+        self.refreshed = 0
+        self.evicted_unused = 0
+        self.overhead = 0
+
+    def fill(
+        self,
+        pb_hits: int,
+        issued: int,
+        inserted: int,
+        refreshed: int,
+        evicted_unused: int,
+        overhead: int = 0,
+    ) -> None:
+        self.pb_hits = pb_hits
+        self.issued = issued
+        self.inserted = inserted
+        self.refreshed = refreshed
+        self.evicted_unused = evicted_unused
+        self.overhead = overhead
+
+
+def _replay_null(pages: list, warmup: int, counters: _Counters) -> None:
+    """No prefetching: nothing is ever buffered, so nothing can hit."""
+
+
+def _replay_sequential(
+    pages: list,
+    warmup: int,
+    cap: int,
+    clamp: int,
+    counters: _Counters,
+    degree: int,
+) -> None:
+    buf: dict[int, None] = {}
+    buffered = pb_hits = issued = inserted = refreshed = evicted_unused = 0
+    effective = degree if not clamp else min(degree, clamp)
+    offsets = range(1, effective + 1)
+    for index, page in enumerate(pages):
+        if page in buf:
+            del buf[page]
+            buffered -= 1
+            if index >= warmup:
+                pb_hits += 1
+        issued += degree
+        for offset in offsets:
+            target = page + offset
+            if target in buf:
+                del buf[target]
+                buf[target] = None
+                refreshed += 1
+            else:
+                if buffered >= cap:
+                    del buf[next(iter(buf))]
+                    evicted_unused += 1
+                else:
+                    buffered += 1
+                buf[target] = None
+                inserted += 1
+    counters.fill(pb_hits, issued, inserted, refreshed, evicted_unused)
+
+
+def _replay_adaptive_sequential(
+    pages: list,
+    warmup: int,
+    cap: int,
+    clamp: int,
+    counters: _Counters,
+    max_degree: int,
+    window: int,
+    raise_above: float,
+    lower_below: float,
+) -> None:
+    buf: dict[int, None] = {}
+    buffered = pb_hits = issued = inserted = refreshed = evicted_unused = 0
+    degree = 1
+    window_misses = window_hits = 0
+    for index, page in enumerate(pages):
+        pb_hit = page in buf
+        if pb_hit:
+            del buf[page]
+            buffered -= 1
+            if index >= warmup:
+                pb_hits += 1
+        window_misses += 1
+        window_hits += pb_hit
+        if window_misses >= window:
+            hit_rate = window_hits / window_misses
+            if hit_rate > raise_above:
+                degree = min(degree * 2, max_degree)
+            elif hit_rate < lower_below:
+                degree = max(degree // 2, 1)
+            window_misses = window_hits = 0
+        issued += degree
+        effective = degree if not clamp else min(degree, clamp)
+        for offset in range(1, effective + 1):
+            target = page + offset
+            if target in buf:
+                del buf[target]
+                buf[target] = None
+                refreshed += 1
+            else:
+                if buffered >= cap:
+                    del buf[next(iter(buf))]
+                    evicted_unused += 1
+                else:
+                    buffered += 1
+                buf[target] = None
+                inserted += 1
+    counters.fill(pb_hits, issued, inserted, refreshed, evicted_unused)
+
+
+def _replay_stride(
+    pcs: list,
+    pages: list,
+    warmup: int,
+    cap: int,
+    clamp: int,
+    counters: _Counters,
+    rows: int,
+    ways: int,
+) -> None:
+    buf: dict[int, None] = {}
+    buffered = pb_hits = issued = inserted = refreshed = evicted_unused = 0
+    # Chen & Baer states: 0=initial 1=transient 2=steady 3=no-prediction.
+    if ways == 1:
+        # Direct-mapped: flat parallel arrays, dict-free integer indexing.
+        occupied = bytearray(rows)
+        tags = [0] * rows
+        prev_pages = [0] * rows
+        strides = [0] * rows
+        states = bytearray(rows)
+        for index, page in enumerate(pages):
+            if page in buf:
+                del buf[page]
+                buffered -= 1
+                if index >= warmup:
+                    pb_hits += 1
+            pc = pcs[index]
+            row = pc % rows
+            if not occupied[row] or tags[row] != pc:
+                occupied[row] = 1
+                tags[row] = pc
+                prev_pages[row] = page
+                strides[row] = 0
+                states[row] = 0
+                continue
+            new_stride = page - prev_pages[row]
+            unchanged = new_stride == strides[row]
+            state = states[row]
+            if state == 0:
+                if unchanged:
+                    states[row] = 2
+                else:
+                    states[row] = 1
+                    strides[row] = new_stride
+            elif state == 1:
+                if unchanged:
+                    states[row] = 2
+                else:
+                    states[row] = 3
+                    strides[row] = new_stride
+            elif state == 2:
+                if not unchanged:
+                    states[row] = 0
+            else:
+                if unchanged:
+                    states[row] = 1
+                else:
+                    strides[row] = new_stride
+            prev_pages[row] = page
+            if states[row] == 2:
+                stride = strides[row]
+                if stride:
+                    target = page + stride
+                    if target >= 0:
+                        issued += 1
+                        if target in buf:
+                            del buf[target]
+                            buf[target] = None
+                            refreshed += 1
+                        else:
+                            if buffered >= cap:
+                                del buf[next(iter(buf))]
+                                evicted_unused += 1
+                            else:
+                                buffered += 1
+                            buf[target] = None
+                            inserted += 1
+    else:
+        # Set-associative: per-set insertion-ordered dicts (first = LRU);
+        # each payload is a mutable [prev_page, stride, state] triple.
+        num_sets = rows // ways
+        sets: list[dict[int, list[int]]] = [{} for _ in range(num_sets)]
+        for index, page in enumerate(pages):
+            if page in buf:
+                del buf[page]
+                buffered -= 1
+                if index >= warmup:
+                    pb_hits += 1
+            pc = pcs[index]
+            table_set = sets[pc % num_sets]
+            entry = table_set.get(pc)
+            if entry is None:
+                if len(table_set) >= ways:
+                    del table_set[next(iter(table_set))]
+                table_set[pc] = [page, 0, 0]
+                continue
+            del table_set[pc]  # promote to MRU
+            table_set[pc] = entry
+            new_stride = page - entry[0]
+            unchanged = new_stride == entry[1]
+            state = entry[2]
+            if state == 0:
+                if unchanged:
+                    entry[2] = 2
+                else:
+                    entry[2] = 1
+                    entry[1] = new_stride
+            elif state == 1:
+                if unchanged:
+                    entry[2] = 2
+                else:
+                    entry[2] = 3
+                    entry[1] = new_stride
+            elif state == 2:
+                if not unchanged:
+                    entry[2] = 0
+            else:
+                if unchanged:
+                    entry[2] = 1
+                else:
+                    entry[1] = new_stride
+            entry[0] = page
+            if entry[2] == 2:
+                stride = entry[1]
+                if stride:
+                    target = page + stride
+                    if target >= 0:
+                        issued += 1
+                        if target in buf:
+                            del buf[target]
+                            buf[target] = None
+                            refreshed += 1
+                        else:
+                            if buffered >= cap:
+                                del buf[next(iter(buf))]
+                                evicted_unused += 1
+                            else:
+                                buffered += 1
+                            buf[target] = None
+                            inserted += 1
+    counters.fill(pb_hits, issued, inserted, refreshed, evicted_unused)
+
+
+def _replay_markov(
+    pages: list,
+    warmup: int,
+    cap: int,
+    clamp: int,
+    counters: _Counters,
+    rows: int,
+    ways: int,
+    slots: int,
+) -> None:
+    buf: dict[int, None] = {}
+    buffered = pb_hits = issued = inserted = refreshed = evicted_unused = 0
+    prev_page: int | None = None
+    if ways == 1:
+        occupied = bytearray(rows)
+        tags = [0] * rows
+        slot_rows: list[list[int]] = [[] for _ in range(rows)]
+        for index, page in enumerate(pages):
+            if page in buf:
+                del buf[page]
+                buffered -= 1
+                if index >= warmup:
+                    pb_hits += 1
+            row = page % rows
+            if occupied[row] and tags[row] == page:
+                # Aliasing the live slot list is safe: the prev-page
+                # update below can never mutate *this* row in place
+                # (its tag is `page`, the update's key is `prev_page`,
+                # and the two differ on every path that updates).
+                prefetches = slot_rows[row]
+                issued += len(prefetches)
+            else:
+                occupied[row] = 1
+                tags[row] = page
+                slot_rows[row] = []
+                prefetches = ()
+            if prev_page is not None and prev_page != page:
+                prev_row = prev_page % rows
+                if occupied[prev_row] and tags[prev_row] == prev_page:
+                    successors = slot_rows[prev_row]
+                else:
+                    occupied[prev_row] = 1
+                    tags[prev_row] = prev_page
+                    successors = []
+                    slot_rows[prev_row] = successors
+                # Skip the no-op reorder when page is already MRU
+                # (remove + insert-at-0 would rebuild the same list).
+                if not successors or successors[0] != page:
+                    if page in successors:
+                        successors.remove(page)
+                    successors.insert(0, page)
+                    if len(successors) > slots:
+                        successors.pop()
+            prev_page = page
+            if prefetches:
+                if clamp and len(prefetches) > clamp:
+                    prefetches = prefetches[:clamp]
+                for target in prefetches:
+                    if target in buf:
+                        del buf[target]
+                        buf[target] = None
+                        refreshed += 1
+                    else:
+                        if buffered >= cap:
+                            del buf[next(iter(buf))]
+                            evicted_unused += 1
+                        else:
+                            buffered += 1
+                        buf[target] = None
+                        inserted += 1
+    else:
+        num_sets = rows // ways
+        sets: list[dict[int, list[int]]] = [{} for _ in range(num_sets)]
+        for index, page in enumerate(pages):
+            if page in buf:
+                del buf[page]
+                buffered -= 1
+                if index >= warmup:
+                    pb_hits += 1
+            table_set = sets[page % num_sets]
+            row = table_set.get(page)
+            if row is not None:
+                del table_set[page]
+                table_set[page] = row
+                prefetches = row
+                issued += len(prefetches)
+            else:
+                if len(table_set) >= ways:
+                    del table_set[next(iter(table_set))]
+                table_set[page] = []
+                prefetches = ()
+            if prev_page is not None and prev_page != page:
+                prev_set = sets[prev_page % num_sets]
+                successors = prev_set.get(prev_page)
+                if successors is not None:
+                    del prev_set[prev_page]
+                    prev_set[prev_page] = successors
+                else:
+                    if len(prev_set) >= ways:
+                        del prev_set[next(iter(prev_set))]
+                    successors = []
+                    prev_set[prev_page] = successors
+                # Skip the no-op reorder when page is already MRU
+                # (remove + insert-at-0 would rebuild the same list).
+                if not successors or successors[0] != page:
+                    if page in successors:
+                        successors.remove(page)
+                    successors.insert(0, page)
+                    if len(successors) > slots:
+                        successors.pop()
+            prev_page = page
+            if prefetches:
+                if clamp and len(prefetches) > clamp:
+                    prefetches = prefetches[:clamp]
+                for target in prefetches:
+                    if target in buf:
+                        del buf[target]
+                        buf[target] = None
+                        refreshed += 1
+                    else:
+                        if buffered >= cap:
+                            del buf[next(iter(buf))]
+                            evicted_unused += 1
+                        else:
+                            buffered += 1
+                        buf[target] = None
+                        inserted += 1
+    counters.fill(pb_hits, issued, inserted, refreshed, evicted_unused)
+
+
+def _replay_distance(
+    pages: list,
+    warmup: int,
+    cap: int,
+    clamp: int,
+    counters: _Counters,
+    rows: int,
+    ways: int,
+    slots: int,
+) -> None:
+    buf: dict[int, None] = {}
+    buffered = pb_hits = issued = inserted = refreshed = evicted_unused = 0
+    prev_page: int | None = None
+    prev_distance: int | None = None
+    if ways == 1:
+        occupied = bytearray(rows)
+        tags = [0] * rows
+        slot_rows: list[list[int]] = [[] for _ in range(rows)]
+        for index, page in enumerate(pages):
+            if page in buf:
+                del buf[page]
+                buffered -= 1
+                if index >= warmup:
+                    pb_hits += 1
+            last_page = prev_page
+            prev_page = page
+            if last_page is None:
+                continue
+            distance = page - last_page
+            row = distance % rows
+            if occupied[row] and tags[row] == distance:
+                # Targets are materialized *before* the prev-distance
+                # update: when prev_distance == distance, that update
+                # mutates this very slot list (mirroring the reference
+                # engine, which snapshots entry.values() first).
+                prefetches = []
+                for predicted in slot_rows[row]:
+                    target = page + predicted
+                    if target >= 0:
+                        prefetches.append(target)
+                        issued += 1
+            else:
+                occupied[row] = 1
+                tags[row] = distance
+                slot_rows[row] = []
+                prefetches = ()
+            if prev_distance is not None:
+                prev_row = prev_distance % rows
+                if occupied[prev_row] and tags[prev_row] == prev_distance:
+                    successors = slot_rows[prev_row]
+                else:
+                    occupied[prev_row] = 1
+                    tags[prev_row] = prev_distance
+                    successors = []
+                    slot_rows[prev_row] = successors
+                # Skip the no-op reorder when distance is already MRU
+                # (remove + insert-at-0 would rebuild the same list).
+                if not successors or successors[0] != distance:
+                    if distance in successors:
+                        successors.remove(distance)
+                    successors.insert(0, distance)
+                    if len(successors) > slots:
+                        successors.pop()
+            prev_distance = distance
+            if prefetches:
+                if clamp and len(prefetches) > clamp:
+                    prefetches = prefetches[:clamp]
+                for target in prefetches:
+                    if target in buf:
+                        del buf[target]
+                        buf[target] = None
+                        refreshed += 1
+                    else:
+                        if buffered >= cap:
+                            del buf[next(iter(buf))]
+                            evicted_unused += 1
+                        else:
+                            buffered += 1
+                        buf[target] = None
+                        inserted += 1
+    else:
+        num_sets = rows // ways
+        sets: list[dict[int, list[int]]] = [{} for _ in range(num_sets)]
+        for index, page in enumerate(pages):
+            if page in buf:
+                del buf[page]
+                buffered -= 1
+                if index >= warmup:
+                    pb_hits += 1
+            last_page = prev_page
+            prev_page = page
+            if last_page is None:
+                continue
+            distance = page - last_page
+            table_set = sets[distance % num_sets]
+            row = table_set.get(distance)
+            if row is not None:
+                del table_set[distance]
+                table_set[distance] = row
+                prefetches = []
+                for predicted in row:
+                    target = page + predicted
+                    if target >= 0:
+                        prefetches.append(target)
+                        issued += 1
+            else:
+                if len(table_set) >= ways:
+                    del table_set[next(iter(table_set))]
+                table_set[distance] = []
+                prefetches = ()
+            if prev_distance is not None:
+                prev_set = sets[prev_distance % num_sets]
+                successors = prev_set.get(prev_distance)
+                if successors is not None:
+                    del prev_set[prev_distance]
+                    prev_set[prev_distance] = successors
+                else:
+                    if len(prev_set) >= ways:
+                        del prev_set[next(iter(prev_set))]
+                    successors = []
+                    prev_set[prev_distance] = successors
+                # Skip the no-op reorder when distance is already MRU
+                # (remove + insert-at-0 would rebuild the same list).
+                if not successors or successors[0] != distance:
+                    if distance in successors:
+                        successors.remove(distance)
+                    successors.insert(0, distance)
+                    if len(successors) > slots:
+                        successors.pop()
+            prev_distance = distance
+            if prefetches:
+                if clamp and len(prefetches) > clamp:
+                    prefetches = prefetches[:clamp]
+                for target in prefetches:
+                    if target in buf:
+                        del buf[target]
+                        buf[target] = None
+                        refreshed += 1
+                    else:
+                        if buffered >= cap:
+                            del buf[next(iter(buf))]
+                            evicted_unused += 1
+                        else:
+                            buffered += 1
+                        buf[target] = None
+                        inserted += 1
+    counters.fill(pb_hits, issued, inserted, refreshed, evicted_unused)
+
+
+def _replay_keyed_distance(
+    pcs: list,
+    pages: list,
+    warmup: int,
+    cap: int,
+    clamp: int,
+    counters: _Counters,
+    rows: int,
+    ways: int,
+    slots: int,
+    pc_keyed: bool,
+) -> None:
+    """Shared loop for the DP-PC and DP-2 extensions.
+
+    Both differ from DP only in the table key: ``pack_pc_distance(pc,
+    distance)`` for DP-PC, ``pack_distance_pair(prev, current)`` for
+    DP-2 (which also needs one extra warm-up miss before its first
+    key exists). A per-set dict table covers every associativity.
+    """
+    buf: dict[int, None] = {}
+    buffered = pb_hits = issued = inserted = refreshed = evicted_unused = 0
+    prev_page: int | None = None
+    prev_distance: int | None = None
+    prev_key: int | None = None
+    num_sets = rows // ways
+    sets: list[dict[int, list[int]]] = [{} for _ in range(num_sets)]
+    for index, page in enumerate(pages):
+        if page in buf:
+            del buf[page]
+            buffered -= 1
+            if index >= warmup:
+                pb_hits += 1
+        last_page = prev_page
+        prev_page = page
+        if last_page is None:
+            continue
+        distance = page - last_page
+        if pc_keyed:
+            key = pack_pc_distance(pcs[index], distance)
+        else:
+            last_distance = prev_distance
+            prev_distance = distance
+            if last_distance is None:
+                continue
+            key = pack_distance_pair(last_distance, distance)
+        table_set = sets[key % num_sets]
+        row = table_set.get(key)
+        if row is not None:
+            del table_set[key]
+            table_set[key] = row
+            prefetches = []
+            for predicted in row:
+                target = page + predicted
+                if target >= 0:
+                    prefetches.append(target)
+                    issued += 1
+        else:
+            if len(table_set) >= ways:
+                del table_set[next(iter(table_set))]
+            table_set[key] = []
+            prefetches = ()
+        if prev_key is not None:
+            prev_set = sets[prev_key % num_sets]
+            successors = prev_set.get(prev_key)
+            if successors is not None:
+                del prev_set[prev_key]
+                prev_set[prev_key] = successors
+            else:
+                if len(prev_set) >= ways:
+                    del prev_set[next(iter(prev_set))]
+                successors = []
+                prev_set[prev_key] = successors
+            if not successors or successors[0] != distance:
+                if distance in successors:
+                    successors.remove(distance)
+                successors.insert(0, distance)
+                if len(successors) > slots:
+                    successors.pop()
+        prev_key = key
+        if prefetches:
+            if clamp and len(prefetches) > clamp:
+                prefetches = prefetches[:clamp]
+            for target in prefetches:
+                if target in buf:
+                    del buf[target]
+                    buf[target] = None
+                    refreshed += 1
+                else:
+                    if buffered >= cap:
+                        del buf[next(iter(buf))]
+                        evicted_unused += 1
+                    else:
+                        buffered += 1
+                    buf[target] = None
+                    inserted += 1
+    counters.fill(pb_hits, issued, inserted, refreshed, evicted_unused)
+
+
+def _replay_recency(
+    miss_trace: MissTrace,
+    warmup: int,
+    cap: int,
+    clamp: int,
+    counters: _Counters,
+    variant_three: bool,
+) -> None:
+    """RP over dense page ids: the stack's next/prev pointers become
+    flat integer arrays instead of dict-backed page-table entries.
+
+    The page↔id mapping is a bijection over every page the stream can
+    mention, so buffer membership, stack linkage and hit accounting are
+    isomorphic to the reference engine's page-number arithmetic.
+    """
+    pages_array = miss_trace.pages
+    evicted_array = miss_trace.evicted
+    unique = np.unique(np.concatenate([pages_array, evicted_array[evicted_array >= 0]]))
+    page_ids = np.searchsorted(unique, pages_array).tolist()
+    evicted_ids = np.where(
+        evicted_array >= 0, np.searchsorted(unique, evicted_array), -1
+    ).tolist()
+
+    footprint = len(unique)
+    next_link = [-1] * footprint
+    prev_link = [-1] * footprint
+    on_stack = bytearray(footprint)
+    top = -1
+
+    buf: dict[int, None] = {}
+    buffered = pb_hits = issued = inserted = refreshed = evicted_unused = overhead = 0
+    for index, page in enumerate(page_ids):
+        if page in buf:
+            del buf[page]
+            buffered -= 1
+            if index >= warmup:
+                pb_hits += 1
+        if on_stack[page]:
+            below = next_link[page]
+            above = prev_link[page]
+            # Unlink from the stack (2 pointer writes of overhead).
+            if above != -1:
+                next_link[above] = below
+            else:
+                top = below
+            if below != -1:
+                prev_link[below] = above
+            prev_link[page] = -1
+            next_link[page] = -1
+            on_stack[page] = 0
+            overhead += 2
+        else:
+            below = -1
+            above = -1
+        evicted = evicted_ids[index]
+        if evicted != -1:
+            if on_stack[evicted]:
+                # Re-push of a threaded page: silently unlink first
+                # (the reference stack does this inside push_top
+                # without charging extra overhead).
+                e_above = prev_link[evicted]
+                e_below = next_link[evicted]
+                if e_above != -1:
+                    next_link[e_above] = e_below
+                else:
+                    top = e_below
+                if e_below != -1:
+                    prev_link[e_below] = e_above
+            next_link[evicted] = top
+            prev_link[evicted] = -1
+            on_stack[evicted] = 1
+            if top != -1:
+                prev_link[top] = evicted
+            top = evicted
+            overhead += 2
+        prefetches = []
+        if above != -1:
+            prefetches.append(above)
+        if below != -1:
+            prefetches.append(below)
+        if variant_three and below != -1:
+            third = next_link[below] if on_stack[below] else -1
+            if third != -1 and third != page:
+                prefetches.append(third)
+        if prefetches:
+            issued += len(prefetches)
+            if clamp and len(prefetches) > clamp:
+                prefetches = prefetches[:clamp]
+            for target in prefetches:
+                if target in buf:
+                    del buf[target]
+                    buf[target] = None
+                    refreshed += 1
+                else:
+                    if buffered >= cap:
+                        del buf[next(iter(buf))]
+                        evicted_unused += 1
+                    else:
+                        buffered += 1
+                    buf[target] = None
+                    inserted += 1
+    counters.fill(pb_hits, issued, inserted, refreshed, evicted_unused, overhead)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch: which mechanisms the fast engine can replay, whether an
+# instance is pristine enough to serve as a configuration template,
+# and the public replay entry point.
+# ---------------------------------------------------------------------------
+
+#: Mechanism classes the fast engine has a specialized loop for.
+#: Dispatch is on *exact* type: user subclasses may override behavior
+#: the loops do not model, so they always take the reference engine.
+_FAST_TYPES = (
+    NullPrefetcher,
+    SequentialPrefetcher,
+    AdaptiveSequentialPrefetcher,
+    ArbitraryStridePrefetcher,
+    MarkovPrefetcher,
+    DistancePrefetcher,
+    PCDistancePrefetcher,
+    DistancePairPrefetcher,
+    RecencyPrefetcher,
+)
+
+
+def supports(prefetcher: Prefetcher) -> bool:
+    """True when :func:`replay_fast` has a loop for this mechanism."""
+    return type(prefetcher) in _FAST_TYPES
+
+
+def is_fresh(prefetcher: Prefetcher) -> bool:
+    """True when the instance carries no trained state or statistics.
+
+    The fast engine rebuilds mechanism state from scratch, so its
+    output matches the reference engine only for untrained instances;
+    :mod:`repro.sim.engine` uses this to fall back under ``auto``.
+    Each mechanism reports its own trained state through
+    :meth:`~repro.prefetch.base.Prefetcher.has_prediction_state`.
+    """
+    return (
+        not prefetcher.prefetches_issued
+        and not prefetcher.overhead_ops_total
+        and not prefetcher.has_prediction_state()
+    )
+
+
+def replay_fast(
+    miss_trace: MissTrace,
+    prefetcher: Prefetcher,
+    buffer_entries: int = 16,
+    max_prefetches_per_miss: int = 0,
+) -> "PrefetchRunStats":
+    """Fast-path equivalent of :func:`~repro.sim.two_phase.replay_prefetcher`.
+
+    ``prefetcher`` is read for configuration (and its label) but never
+    mutated. Raises :class:`~repro.errors.ConfigurationError` when the
+    mechanism has no fast loop or carries trained state.
+    """
+    if not supports(prefetcher):
+        raise ConfigurationError(
+            f"fast engine has no replay loop for {type(prefetcher).__name__}; "
+            "use engine='reference'"
+        )
+    if not is_fresh(prefetcher):
+        raise ConfigurationError(
+            "fast engine replays from a fresh state; this "
+            f"{type(prefetcher).__name__} instance has prior training or "
+            "statistics — use engine='reference' to continue training it"
+        )
+
+    cap = buffer_entries
+    clamp = max_prefetches_per_miss
+    warmup = miss_trace.warmup_misses
+    counters = _Counters()
+
+    kind = type(prefetcher)
+    if kind is RecencyPrefetcher:
+        # RP builds its own dense numpy id arrays; skip the flat-list
+        # precompilation the other loops iterate over.
+        _replay_recency(
+            miss_trace, warmup, cap, clamp, counters, prefetcher.variant_three
+        )
+        return _stats_from(miss_trace, prefetcher, counters)
+
+    pcs, pages, _evicted, warmup = compile_stream(miss_trace)
+    if kind is NullPrefetcher:
+        _replay_null(pages, warmup, counters)
+    elif kind is SequentialPrefetcher:
+        _replay_sequential(pages, warmup, cap, clamp, counters, prefetcher.degree)
+    elif kind is AdaptiveSequentialPrefetcher:
+        _replay_adaptive_sequential(
+            pages, warmup, cap, clamp, counters,
+            prefetcher.max_degree, prefetcher.window,
+            prefetcher.raise_above, prefetcher.lower_below,
+        )
+    elif kind is ArbitraryStridePrefetcher:
+        _replay_stride(
+            pcs, pages, warmup, cap, clamp, counters,
+            prefetcher.table.rows, prefetcher.table.ways,
+        )
+    elif kind is MarkovPrefetcher:
+        _replay_markov(
+            pages, warmup, cap, clamp, counters,
+            prefetcher.table.rows, prefetcher.table.ways, prefetcher.slots,
+        )
+    elif kind is DistancePrefetcher:
+        _replay_distance(
+            pages, warmup, cap, clamp, counters,
+            prefetcher.table.rows, prefetcher.table.ways, prefetcher.slots,
+        )
+    elif kind is PCDistancePrefetcher:
+        _replay_keyed_distance(
+            pcs, pages, warmup, cap, clamp, counters,
+            prefetcher.table.rows, prefetcher.table.ways, prefetcher.slots,
+            pc_keyed=True,
+        )
+    else:  # DistancePairPrefetcher (supports() already vetted the type)
+        _replay_keyed_distance(
+            pcs, pages, warmup, cap, clamp, counters,
+            prefetcher.table.rows, prefetcher.table.ways, prefetcher.slots,
+            pc_keyed=False,
+        )
+
+    return _stats_from(miss_trace, prefetcher, counters)
+
+
+def _stats_from(
+    miss_trace: MissTrace, prefetcher: Prefetcher, counters: _Counters
+) -> "PrefetchRunStats":
+    from repro.sim.stats import PrefetchRunStats
+
+    return PrefetchRunStats(
+        workload=miss_trace.name,
+        mechanism=prefetcher.label,
+        tlb_label=miss_trace.tlb_label,
+        total_references=miss_trace.total_references,
+        tlb_misses=miss_trace.num_misses,
+        measured_misses=miss_trace.measured_misses,
+        pb_hits=counters.pb_hits,
+        prefetches_issued=counters.issued,
+        buffer_inserted=counters.inserted,
+        buffer_refreshed=counters.refreshed,
+        buffer_evicted_unused=counters.evicted_unused,
+        overhead_memory_ops=counters.overhead,
+        # A prefetch already buffered is coalesced, costing no new fetch.
+        prefetch_fetch_ops=counters.inserted,
+    )

@@ -140,13 +140,24 @@ def evaluate(
     trace: ReferenceTrace,
     prefetcher: Prefetcher,
     config: SimulationConfig | None = None,
+    engine: str = "reference",
 ) -> PrefetchRunStats:
-    """Convenience wrapper: filter then replay under one config."""
+    """Convenience wrapper: filter then replay under one config.
+
+    ``engine`` selects the replay implementation (see
+    :mod:`repro.sim.engine`): ``"reference"`` (default, trains the
+    given instance), ``"fast"`` (specialized loops, instance untouched)
+    or ``"auto"``. All engines return bit-identical statistics.
+    """
     config = config or SimulationConfig()
     miss_trace = filter_tlb(trace, config.tlb, config.warmup_fraction)
-    return replay_prefetcher(
+    # Imported lazily: repro.sim.engine imports this module.
+    from repro.sim.engine import replay
+
+    return replay(
         miss_trace,
         prefetcher,
         buffer_entries=config.buffer_entries,
         max_prefetches_per_miss=config.max_prefetches_per_miss,
+        engine=engine,
     )

@@ -1,0 +1,13 @@
+"""Differential-testing harness for the fast replay engine.
+
+The fast engine (:mod:`repro.sim.fastpath`) is shippable only because
+this package proves it is exactly the engine the paper's numbers come
+from: every test executes the same work on the reference engine and
+the fast engine and asserts bit-identical statistics.
+
+- ``harness`` — the :class:`DifferentialRunner` comparison machinery.
+- ``test_curated_grid`` — a curated grid of canonical specs spanning
+  every mechanism family × workload family × page size.
+- ``test_fuzz`` — seeded, shrinkable randomized trace/spec generators
+  (hypothesis) so new scenarios are fuzzed on every run.
+"""

@@ -1,0 +1,132 @@
+"""DifferentialRunner: execute one spec on both engines, demand equality.
+
+"Bit-identical" here is literal: the full
+:class:`~repro.sim.stats.PrefetchRunStats` dataclass — every stored
+counter and every ``extra`` annotation — must compare equal field for
+field, and whole :class:`~repro.run.results.ResultSet` batches must
+serialize to identical JSON. Tolerances would defeat the point: the
+fast engine is only trustworthy if it *is* the reference engine,
+observationally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.mem.trace import MissTrace, ReferenceTrace
+from repro.prefetch.base import Prefetcher
+from repro.run import MissStreamCache, ResultSet, Runner, RunSpec
+from repro.sim.config import SimulationConfig
+from repro.sim.fastpath import replay_fast
+from repro.sim.stats import PrefetchRunStats
+from repro.sim.two_phase import filter_tlb, replay_prefetcher
+
+
+class EngineDivergenceError(AssertionError):
+    """The two engines disagreed; the message lists differing fields."""
+
+
+def assert_identical(
+    reference: PrefetchRunStats, fast: PrefetchRunStats, context: str = ""
+) -> None:
+    """Raise :class:`EngineDivergenceError` unless stats match exactly."""
+    ref_dict = asdict(reference)
+    fast_dict = asdict(fast)
+    if ref_dict == fast_dict:
+        return
+    diffs = [
+        f"  {name}: reference={ref_dict[name]!r} fast={fast_dict[name]!r}"
+        for name in ref_dict
+        if ref_dict[name] != fast_dict.get(name, object())
+    ]
+    where = f" [{context}]" if context else ""
+    raise EngineDivergenceError(
+        "fast engine diverged from reference engine" + where + ":\n"
+        + "\n".join(diffs)
+    )
+
+
+class DifferentialRunner:
+    """Runs identical work through both replay engines and compares.
+
+    Uses a private miss-stream cache so phase 1 (TLB filtering, shared
+    by both engines by construction) is paid once per stream while the
+    two phase-2 replays stay independent.
+    """
+
+    def __init__(self) -> None:
+        self.runner = Runner(cache=MissStreamCache())
+        self.checked = 0
+
+    def run_both(self, spec: RunSpec) -> tuple[PrefetchRunStats, PrefetchRunStats]:
+        """Execute ``spec`` on the reference and the fast engine."""
+        reference = self.runner.run_one(spec.derive(engine="reference"))
+        fast = self.runner.run_one(spec.derive(engine="fast"))
+        return reference, fast
+
+    def check_spec(self, spec: RunSpec) -> PrefetchRunStats:
+        """Assert both engines agree on ``spec``; return the stats."""
+        reference, fast = self.run_both(spec)
+        assert_identical(reference, fast, context=f"spec {spec.label} {spec.key()}")
+        self.checked += 1
+        return reference
+
+    def check_batch(self, specs: list[RunSpec]) -> ResultSet:
+        """Assert whole-batch ResultSets serialize identically."""
+        reference = self.runner.run([spec.derive(engine="reference") for spec in specs])
+        fast = self.runner.run([spec.derive(engine="fast") for spec in specs])
+        for ref_row, fast_row in zip(reference, fast):
+            assert_identical(ref_row, fast_row, context=ref_row.workload)
+        if reference.to_json() != fast.to_json():
+            raise EngineDivergenceError(
+                "ResultSet JSON differs between engines despite equal rows"
+            )
+        self.checked += len(specs)
+        return reference
+
+    def check_trace(
+        self,
+        trace: ReferenceTrace,
+        prefetcher_factory,
+        config: SimulationConfig,
+    ) -> PrefetchRunStats:
+        """Differential check for an ad-hoc trace (no registry spec).
+
+        ``prefetcher_factory`` must build a *fresh* mechanism per call
+        — each engine gets its own instance, exactly as
+        :class:`~repro.run.runner.Runner` builds one per run.
+        """
+        miss_trace = filter_tlb(trace, config.tlb, config.warmup_fraction)
+        return self.check_miss_trace(miss_trace, prefetcher_factory, config)
+
+    def check_miss_trace(
+        self,
+        miss_trace: MissTrace,
+        prefetcher_factory,
+        config: SimulationConfig,
+    ) -> PrefetchRunStats:
+        """Differential check replaying an already-filtered stream."""
+        reference = replay_prefetcher(
+            miss_trace,
+            prefetcher_factory(),
+            buffer_entries=config.buffer_entries,
+            max_prefetches_per_miss=config.max_prefetches_per_miss,
+        )
+        fast = replay_fast(
+            miss_trace,
+            prefetcher_factory(),
+            buffer_entries=config.buffer_entries,
+            max_prefetches_per_miss=config.max_prefetches_per_miss,
+        )
+        assert_identical(reference, fast, context=f"trace {miss_trace.name}")
+        self.checked += 1
+        return reference
+
+
+def fresh_factory(builder, *args, **kwargs):
+    """A zero-argument factory building a fresh mechanism per call."""
+
+    def factory() -> Prefetcher:
+        return builder(*args, **kwargs)
+
+    return factory

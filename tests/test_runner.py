@@ -275,6 +275,75 @@ class TestResultSet:
         assert len(combined) == 8
 
 
+class TestRunnerEdgeCases:
+    def test_more_workers_than_specs(self):
+        """A pool larger than the batch must not hang or drop rows."""
+        specs = [spec_of(mechanism="DP"), spec_of(mechanism="RP")]
+        serial = Runner(cache=MissStreamCache()).run(specs)
+        oversubscribed = Runner(workers=8, cache=MissStreamCache()).run(specs)
+        assert oversubscribed.to_json() == serial.to_json()
+
+    def test_duplicate_specs_single_filter_pass(self):
+        """Duplicates in one batch share one filter and all get rows."""
+        cache = MissStreamCache()
+        spec = spec_of(mechanism="DP")
+        results = Runner(cache=cache).run([spec, spec, spec])
+        assert len(results) == 3
+        assert cache.misses == 1
+        assert cache.hits == 2
+        first, second, third = results
+        assert first == second == third
+
+    def test_duplicate_specs_parallel_matches_serial(self):
+        spec = spec_of(mechanism="DP")
+        other = spec_of(mechanism="RP")
+        batch = [spec, other, spec, other]
+        serial = Runner(cache=MissStreamCache()).run(batch)
+        parallel = Runner(workers=4, cache=MissStreamCache()).run(batch)
+        assert parallel.to_json() == serial.to_json()
+
+    def test_empty_batch(self):
+        results = Runner(cache=MissStreamCache()).run([])
+        assert len(results) == 0
+        assert results.to_rows() == []
+
+    def test_load_rejects_older_schema_explicitly(self, tmp_path):
+        """A v0-era file fails with a ValueError naming the schema."""
+        import json
+
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": "repro.resultset/v0", "runs": []}))
+        with pytest.raises(ValueError, match="repro.resultset/v0"):
+            ResultSet.load(path)
+
+    def test_load_rejects_missing_run_fields_explicitly(self, tmp_path):
+        """Right schema, older row shape: ValueError, not KeyError."""
+        import json
+
+        good = Runner(cache=MissStreamCache()).run([spec_of()])
+        payload = json.loads(good.to_json())
+        for run in payload["runs"]:
+            del run["prefetch_fetch_ops"]  # field an older version lacked
+        path = tmp_path / "older_rows.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="run 0 does not match schema"):
+            ResultSet.load(path)
+
+    def test_load_rejects_runs_missing(self, tmp_path):
+        import json
+
+        path = tmp_path / "norun.json"
+        path.write_text(json.dumps({"schema": "repro.resultset/v1"}))
+        with pytest.raises(ValueError, match="no 'runs' list"):
+            ResultSet.load(path)
+
+    def test_load_rejects_non_object_payload(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            ResultSet.load(path)
+
+
 class TestExperimentContextIntegration:
     def test_context_executes_through_runner(self):
         from repro.analysis.experiments import ExperimentContext
