@@ -41,6 +41,8 @@ from repro.core.prediction_table import PredictionTable, SlotList
 from repro.errors import (
     ConfigurationError,
     ReproError,
+    ResultMergeError,
+    StoreError,
     TraceError,
     UnknownPrefetcherError,
     UnknownWorkloadError,
@@ -70,6 +72,7 @@ from repro.sim.engine import ENGINES, resolve_engine
 from repro.sim.fastpath import replay_fast
 from repro.sim.functional import simulate
 from repro.sim.stats import PrefetchRunStats
+from repro.store import STORE_SCHEMA, ExperimentStore
 from repro.sim.two_phase import evaluate, filter_tlb, replay_prefetcher
 from repro.tlb.mmu import MMU, TranslationOutcome
 from repro.tlb.page_table import PageTable, RecencyStack
@@ -95,6 +98,7 @@ __all__ = [
     "DistancePairPrefetcher",
     "DistancePrefetcher",
     "ENGINES",
+    "ExperimentStore",
     "HIGH_MISS_APPS",
     "HardwareDescription",
     "MMU",
@@ -114,13 +118,16 @@ __all__ = [
     "RecencyStack",
     "ReferenceTrace",
     "ReproError",
+    "ResultMergeError",
     "ResultSet",
     "RunSpec",
     "Runner",
+    "STORE_SCHEMA",
     "SUITES",
     "SequentialPrefetcher",
     "SimulationConfig",
     "SlotList",
+    "StoreError",
     "TABLE3_APPS",
     "TLB",
     "TLBConfig",

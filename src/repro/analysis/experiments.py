@@ -33,6 +33,7 @@ from repro.analysis.metrics import (
     best_or_within_counts,
     weighted_average_accuracy,
 )
+from repro.errors import ConfigurationError
 from repro.mem.trace import MissTrace
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.factory import create_prefetcher
@@ -68,6 +69,11 @@ class ExperimentContext:
         engine: replay engine stamped on every spec this context
             builds — ``"auto"`` (default), ``"reference"`` or
             ``"fast"``; see :mod:`repro.sim.engine`.
+        store: optional persistent :class:`~repro.store.ExperimentStore`
+            (or store directory) the default runner consults — re-running
+            a table/figure against the same store replays only the specs
+            it has never executed (resumable sweeps). Mutually exclusive
+            with ``runner`` (give the runner its own store instead).
     """
 
     def __init__(
@@ -77,10 +83,18 @@ class ExperimentContext:
         workers: int | None = None,
         runner: Runner | None = None,
         engine: str = "auto",
+        store=None,
     ) -> None:
+        if runner is not None and store is not None:
+            raise ConfigurationError(
+                "pass either runner= or store=, not both (a Runner already "
+                "carries its own store)"
+            )
         self.scale = scale
         self.buffer_entries = buffer_entries
-        self.runner = runner if runner is not None else Runner(workers=workers)
+        self.runner = (
+            runner if runner is not None else Runner(workers=workers, store=store)
+        )
         self.engine = engine
 
     def spec(

@@ -17,6 +17,15 @@ Examples::
     repro-tlb export-trace --app swim --out swim.npz --scale 0.25
     repro-tlb run --trace-file swim.npz --mechanism DP
 
+Persistent store + service (see README "Persistent store & service")::
+
+    repro-tlb run --app galgel --mechanism DP --store .repro-store
+    repro-tlb figure7 --scale 0.25 --store .repro-store   # resumable sweep
+    repro-tlb cache stats --store .repro-store
+    repro-tlb cache ls --store .repro-store
+    repro-tlb cache gc --store .repro-store --max-bytes 100000000
+    repro-tlb serve --store .repro-store --port 8321
+
 (Equivalently ``python -m repro.cli ...``.)
 """
 
@@ -51,6 +60,18 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=0,
         help="process-pool size for batch execution (0 = serial)",
+    )
+
+
+def _add_store(parser: argparse.ArgumentParser, required: bool = False) -> None:
+    parser.add_argument(
+        "--store",
+        required=required,
+        help=(
+            "persistent experiment store directory (created if missing); "
+            "previously executed specs are served from it and new results "
+            "are written back"
+        ),
     )
 
 
@@ -97,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_scale(run)
     _add_engine(run)
+    _add_store(run)
 
     export = sub.add_parser(
         "export-trace", help="write an application's reference trace to .npz"
@@ -138,6 +160,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_scale(table2)
     _add_workers(table2)
     _add_engine(table2)
+    _add_store(table2)
 
     table3 = sub.add_parser("table3", help="regenerate Table 3 (normalized cycles)")
     _add_scale(table3)
@@ -150,6 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
         _add_scale(fig)
         _add_workers(fig)
         _add_engine(fig)
+        _add_store(fig)
 
     figure9 = sub.add_parser("figure9", help="regenerate Figure 9 (DP sensitivity)")
     figure9.add_argument(
@@ -161,6 +185,42 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_scale(figure9)
     _add_workers(figure9)
     _add_engine(figure9)
+    _add_store(figure9)
+
+    cache = sub.add_parser(
+        "cache", help="inspect and maintain a persistent experiment store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_sub.add_parser("ls", help="list store entries (LRU order)")
+    _add_store(cache_ls, required=True)
+    cache_ls.add_argument(
+        "--kind", choices=("result", "stream"), help="only entries of this kind"
+    )
+    cache_stats = cache_sub.add_parser(
+        "stats", help="store counters + in-memory miss-stream cache counters"
+    )
+    _add_store(cache_stats, required=True)
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict least-recently-used entries down to a byte budget"
+    )
+    _add_store(cache_gc, required=True)
+    cache_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        help="byte budget to shrink the store to (0 evicts everything unpinned)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve a store over HTTP (POST /runs, GET /results, ...)"
+    )
+    _add_store(serve, required=True)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8321, help="TCP port (0 = any)")
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
+    _add_workers(serve)
 
     return parser
 
@@ -198,7 +258,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             rows=args.rows,
             slots=args.slots,
         )
-        results = Runner().run([spec])
+        results = Runner(store=args.store).run([spec])
         stats = results[0]
     if args.save:
         path = results.save(args.save)
@@ -257,6 +317,64 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_bytes(size: int) -> str:
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(size)} B"  # pragma: no cover - loop always returns
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.run.runner import SHARED_CACHE
+    from repro.store import ExperimentStore
+
+    store = ExperimentStore(args.store)
+    if args.cache_command == "ls":
+        entries = store.entries(kind=getattr(args, "kind", None))
+        if not entries:
+            print("store is empty")
+            return 0
+        print(f"{'kind':<8} {'key':<26} {'size':>10}  workload / mechanism")
+        for entry in entries:
+            what = entry["workload"] or ""
+            if entry["mechanism"]:
+                what += f" / {entry['mechanism']}"
+            print(
+                f"{entry['kind']:<8} {entry['key']:<26} "
+                f"{_format_bytes(entry['size_bytes']):>10}  {what}"
+            )
+        print(f"{len(entries)} entries")
+    elif args.cache_command == "stats":
+        print("persistent store:")
+        for name, value in store.stats().items():
+            print(f"  {name:<16} {value}")
+        print("in-memory miss-stream cache (this process):")
+        for name, value in SHARED_CACHE.stats().items():
+            print(f"  {name:<16} {value}")
+    elif args.cache_command == "gc":
+        report = store.gc(max_bytes=args.max_bytes)
+        print(
+            f"evicted {report['evicted']} entries, reclaimed "
+            f"{_format_bytes(report['reclaimed_bytes'])}; store now "
+            f"{_format_bytes(report['total_bytes'])}"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    return serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        verbose=args.verbose,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -273,6 +391,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "characterize":
         return _cmd_characterize(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "table1":
         print(ExperimentContext(scale=0.05).run_table1())
         return 0
@@ -281,6 +403,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         scale=args.scale,
         workers=getattr(args, "workers", 0),
         engine=getattr(args, "engine", "auto"),
+        store=getattr(args, "store", None),
     )
     if args.command == "table2":
         print(compare_table2(context.run_table2()))

@@ -44,3 +44,21 @@ class UnknownPrefetcherError(ReproError, KeyError):
 
 class TraceError(ReproError):
     """A reference or miss trace is malformed (e.g. negative run count)."""
+
+
+class StoreError(ReproError):
+    """A persistent experiment store is unusable or an artifact is corrupt.
+
+    Raised instead of the underlying JSON/npz/SQLite decode errors so
+    callers see *which* store entry is broken and can delete or rebuild
+    it, rather than chasing a bare ``JSONDecodeError`` with no path.
+    """
+
+
+class ResultMergeError(ReproError, ValueError):
+    """Two result sets disagree about the same spec key.
+
+    Raised by :meth:`repro.run.results.ResultSet.merge` when both sides
+    carry a row for the same ``spec_key`` with different numbers —
+    merging would silently keep one of two contradictory measurements.
+    """

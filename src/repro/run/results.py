@@ -22,6 +22,7 @@ from dataclasses import asdict, fields
 from pathlib import Path
 from typing import Any
 
+from repro.errors import ResultMergeError
 from repro.sim.stats import PrefetchRunStats
 
 #: Stored dataclass fields, in declaration order.
@@ -154,6 +155,39 @@ class ResultSet(Sequence[PrefetchRunStats]):
             row.update(run.extra)
             rows.append(row)
         return rows
+
+    def merge(self, *others: "ResultSet") -> "ResultSet":
+        """Union with duplicate-spec detection.
+
+        Rows are identified by their ``spec_key`` annotation (stamped by
+        the :class:`~repro.run.runner.Runner`): a spec appearing on both
+        sides with *identical* rows is kept once, so a store-loaded
+        partial sweep merges cleanly with the freshly computed
+        remainder. Two *different* rows for the same spec raise
+        :class:`~repro.errors.ResultMergeError` — that means two
+        contradictory measurements, and silently keeping one would
+        corrupt the sweep. Rows without a ``spec_key`` (e.g. from the
+        low-level ``evaluate`` wrapper) are always appended verbatim.
+        """
+        merged: list[PrefetchRunStats] = []
+        seen: dict[str, PrefetchRunStats] = {}
+        for run in (run for source in (self, *others) for run in source):
+            key = run.extra.get("spec_key")
+            if key is None:
+                merged.append(run)
+                continue
+            existing = seen.get(key)
+            if existing is None:
+                seen[key] = run
+                merged.append(run)
+            elif existing != run:
+                raise ResultMergeError(
+                    f"conflicting rows for spec {key!r} "
+                    f"({existing.workload}/{existing.mechanism}): the sets "
+                    "disagree about the same spec; re-run one side or drop "
+                    "the stale rows"
+                )
+        return ResultSet(merged)
 
     # -- persistence -------------------------------------------------------
 

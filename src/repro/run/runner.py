@@ -14,20 +14,34 @@ worker, preserving the filter-once guarantee across the pool, and
 specs are pickleable by construction so nothing special is needed to
 ship them. Replays are deterministic, so parallel results are
 bit-identical to serial ones (the property is regression-tested).
+
+With ``store=`` the runner additionally consults a persistent
+:class:`~repro.store.ExperimentStore` before doing any work: stored
+specs come back without filtering or replaying, freshly computed rows
+(serial or from worker processes) are written back exactly once per
+spec, and in-process stream builds are persisted for future processes.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from pathlib import Path
 
 from repro.mem.address import DEFAULT_PAGE_SIZE
 from repro.mem.trace import MissTrace, ReferenceTrace
 from repro.run.results import ResultSet
 from repro.run.spec import RunSpec
+from repro.store.store import (
+    ExperimentStore,
+    stream_digest_for_spec,
+    stream_digest_for_trace,
+)
 from repro.sim.config import TLBConfig
 from repro.sim.engine import replay as engine_replay
 from repro.sim.stats import PrefetchRunStats
@@ -44,6 +58,11 @@ class MissStreamCache:
     grew by exactly ``g`` and ``hits`` by ``k - g``. (With
     ``workers>1`` filtering happens inside the worker processes — one
     filter per stream group there — and this cache is not consulted.)
+
+    Thread-safe: a lock guards every access, and it is held *across* a
+    miss's ``build()`` so concurrent requests for the same stream (the
+    HTTP service shares one cache between handler threads) build it
+    once instead of racing.
     """
 
     def __init__(self, maxsize: int = 128) -> None:
@@ -52,33 +71,53 @@ class MissStreamCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._lock = threading.RLock()
         self._entries: OrderedDict[tuple, MissTrace] = OrderedDict()
 
     def get_or_build(self, key: tuple, build: Callable[[], MissTrace]) -> MissTrace:
         """Return the cached stream for ``key``, building it on miss."""
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return cached
-        self.misses += 1
-        built = build()
-        self._entries[key] = built
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-        return built
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+            built = build()
+            self._entries[key] = built
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return built
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot — the cache-effectiveness record surfaced by
+        ``repro-tlb cache stats`` and ``GET /stats``."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def clear(self) -> None:
         """Drop all entries and zero the counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __repr__(self) -> str:
         return (
@@ -145,21 +184,52 @@ class Runner:
             and :meth:`miss_stream` — parallel batches filter inside
             the worker processes (exactly once per stream group), so a
             private cache's counters stay at zero there.
+        store: optional persistent
+            :class:`~repro.store.ExperimentStore` (or a path, opened on
+            the spot). When set, :meth:`run` consults the store before
+            filtering or replaying — specs already stored come back
+            without any simulation — and writes newly computed rows
+            back exactly once per spec, including rows computed by
+            worker processes. Miss streams built in-process are
+            persisted too, so even a cold process skips phase 1 for
+            streams the store has seen.
     """
 
     def __init__(
-        self, workers: int | None = None, cache: MissStreamCache | None = None
+        self,
+        workers: int | None = None,
+        cache: MissStreamCache | None = None,
+        store: "ExperimentStore | str | Path | None" = None,
     ) -> None:
         self.workers = max(0, int(workers or 0))
         self.cache = cache if cache is not None else SHARED_CACHE
+        if store is not None and not isinstance(store, ExperimentStore):
+            store = ExperimentStore(store)
+        self.store = store
 
     # -- miss streams ------------------------------------------------------
 
     def miss_stream_for(self, spec: RunSpec) -> MissTrace:
         """The (cached) miss stream a spec replays over."""
         return self.cache.get_or_build(
-            spec.stream_key(), lambda: build_miss_stream(spec)
+            spec.stream_key(),
+            lambda: self._load_or_build_stream(
+                stream_digest_for_spec(spec), lambda: build_miss_stream(spec)
+            ),
         )
+
+    def _load_or_build_stream(
+        self, digest: str, build: Callable[[], MissTrace]
+    ) -> MissTrace:
+        """In-memory miss → try the persistent store, else build + persist."""
+        if self.store is None:
+            return build()
+        cached = self.store.get_stream(digest)
+        if cached is not None:
+            return cached
+        built = build()
+        self.store.put_stream(digest, built)
+        return built
 
     def miss_stream(
         self,
@@ -186,8 +256,14 @@ class Runner:
                 tlb.ways,
                 warmup_fraction,
             )
+            digest = stream_digest_for_trace(
+                trace.content_key(), tlb, warmup_fraction
+            )
             miss = self.cache.get_or_build(
-                key, lambda: filter_tlb(trace, tlb, warmup_fraction)
+                key,
+                lambda: self._load_or_build_stream(
+                    digest, lambda: filter_tlb(trace, tlb, warmup_fraction)
+                ),
             )
             if miss.name != trace.name:
                 # The cache entry keeps the first builder's name; hand
@@ -216,6 +292,13 @@ class Runner:
 
         Serial and parallel execution produce identical rows: replays
         are deterministic and every spec gets a fresh mechanism.
+
+        With a :attr:`store`, every spec key is looked up first (one
+        lookup per *unique* key — duplicates share the row) and only
+        the missing specs are executed; their rows are written back in
+        one batch, exactly one copy per spec. A warm re-run of a sweep
+        therefore performs zero filters and zero replays, and the
+        returned set is bit-identical to the cold run.
         """
         spec_list = list(specs)
         for spec in spec_list:
@@ -223,9 +306,36 @@ class Runner:
                 raise TypeError(
                     f"Runner.run expects RunSpec items, got {type(spec).__name__}"
                 )
+        if self.store is not None:
+            return self._run_with_store(spec_list)
+        return ResultSet(self._execute(spec_list))
+
+    def _execute(self, spec_list: list[RunSpec]) -> list[PrefetchRunStats]:
+        """Compute every spec (no store consultation)."""
         if self.workers > 1 and len(spec_list) > 1:
-            return ResultSet(self._run_parallel(spec_list))
-        return ResultSet(self.run_one(spec) for spec in spec_list)
+            return self._run_parallel(spec_list)
+        return [self.run_one(spec) for spec in spec_list]
+
+    def _run_with_store(self, spec_list: list[RunSpec]) -> ResultSet:
+        by_key: OrderedDict[str, list[int]] = OrderedDict()
+        for index, spec in enumerate(spec_list):
+            by_key.setdefault(spec.key(), []).append(index)
+        results: list[PrefetchRunStats | None] = [None] * len(spec_list)
+        missing: list[RunSpec] = []
+        for key, indices in by_key.items():
+            cached = self.store.get_result(key)
+            if cached is not None:
+                for index in indices:
+                    results[index] = cached
+            else:
+                missing.append(spec_list[indices[0]])
+        if missing:
+            computed = self._execute(missing)
+            self.store.put_results(zip(missing, computed))
+            for spec, stats in zip(missing, computed):
+                for index in by_key[spec.key()]:
+                    results[index] = stats
+        return ResultSet(results)  # type: ignore[arg-type]
 
     def _run_parallel(self, spec_list: list[RunSpec]) -> list[PrefetchRunStats]:
         # One task per stream group: each (workload, scale, tlb, page

@@ -174,6 +174,78 @@ class RunSpec:
             self.page_size,
         )
 
+    def to_dict(self) -> dict:
+        """Flat JSON-friendly form (the service/store interchange shape).
+
+        Round-trips through :meth:`from_dict`; mechanism parameters are
+        flattened into a ``params`` mapping.
+        """
+        return {
+            "workload": self.workload,
+            "mechanism": self.mechanism.name,
+            "params": dict(self.mechanism.params),
+            "scale": self.scale,
+            "tlb_entries": self.tlb.entries,
+            "tlb_ways": self.tlb.ways,
+            "buffer_entries": self.buffer_entries,
+            "warmup_fraction": self.warmup_fraction,
+            "max_prefetches_per_miss": self.max_prefetches_per_miss,
+            "page_size": self.page_size,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "RunSpec":
+        """Parse :meth:`to_dict` output (e.g. a service request body).
+
+        Unknown keys raise :class:`ConfigurationError` — a misspelled
+        knob must not silently run the default configuration.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"RunSpec payload must be an object, got {type(payload).__name__}"
+            )
+        data = dict(payload)
+        if "workload" not in data:
+            raise ConfigurationError("RunSpec payload is missing 'workload'")
+        known = {
+            "workload", "mechanism", "params", "scale", "tlb_entries",
+            "tlb_ways", "buffer_entries", "warmup_fraction",
+            "max_prefetches_per_miss", "page_size", "engine",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown RunSpec fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        params = data.get("params", {})
+        if not isinstance(params, dict):
+            raise ConfigurationError(
+                f"'params' must be a mapping, got {type(params).__name__}"
+            )
+        # Only forward the keys that are present: absent knobs fall
+        # through to the dataclass defaults, so there is exactly one
+        # place those defaults are defined.
+        kwargs = {
+            name: data[name]
+            for name in (
+                "scale", "buffer_entries", "warmup_fraction",
+                "max_prefetches_per_miss", "page_size", "engine",
+            )
+            if name in data
+        }
+        tlb_kwargs = {}
+        if "tlb_entries" in data:
+            tlb_kwargs["entries"] = data["tlb_entries"]
+        if "tlb_ways" in data:
+            tlb_kwargs["ways"] = data["tlb_ways"]
+        return cls(
+            workload=data["workload"],
+            mechanism=MechanismSpec.of(data.get("mechanism", "DP"), **params),
+            tlb=TLBConfig(**tlb_kwargs),
+            **kwargs,
+        )
+
     def canonical(self) -> str:
         """Canonical one-line text form (the input to :meth:`key`).
 

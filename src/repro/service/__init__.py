@@ -1,0 +1,36 @@
+"""HTTP query service over the persistent experiment store.
+
+A thin, dependency-free (stdlib ``http.server``) JSON API that makes a
+:class:`~repro.store.ExperimentStore` queryable — and extendable —
+without touching Python:
+
+==========================  ===========================================
+``GET  /stats``             store + miss-stream-cache counters
+``GET  /runs/<key>``        one stored run by ``RunSpec.key()``
+``GET  /results?field=v``   stored rows filtered via ``ResultSet.filter``
+``POST /runs``              submit a RunSpec batch; cached specs are
+                            served from the store, the rest simulated
+                            and stored
+==========================  ===========================================
+
+Launch with ``repro-tlb serve --store DIR`` or programmatically via
+:func:`make_server`; :class:`~repro.service.client.ServiceClient` is a
+matching stdlib client for scripts and CI.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import (
+    SERVICE_SCHEMA,
+    ExperimentService,
+    make_server,
+    serve,
+)
+
+__all__ = [
+    "ExperimentService",
+    "SERVICE_SCHEMA",
+    "ServiceClient",
+    "ServiceError",
+    "make_server",
+    "serve",
+]

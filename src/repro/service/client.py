@@ -1,0 +1,101 @@
+"""Minimal stdlib client for the repro-tlb experiment service.
+
+Used by the service tests and the CI ``store-smoke`` scripted client;
+also convenient from a notebook::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8321")
+    client.wait_ready()
+    batch = client.submit([{"workload": "galgel", "mechanism": "DP",
+                            "scale": 0.1, "params": {"rows": 256}}])
+    print(client.results(workload="galgel")["count"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """The service answered with a non-2xx status.
+
+    Attributes:
+        status: HTTP status code (0 when the server was unreachable).
+        payload: decoded JSON error payload, when there was one.
+    """
+
+    def __init__(self, status: int, payload: dict | None, message: str) -> None:
+        self.status = status
+        self.payload = payload or {}
+        super().__init__(message)
+
+
+class ServiceClient:
+    """Tiny JSON-over-HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(
+        self, path: str, payload: dict | None = None, method: str | None = None
+    ) -> dict:
+        """One request; returns the decoded payload or raises ServiceError."""
+        data = json.dumps(payload).encode() if payload is not None else None
+        method = method or ("POST" if data is not None else "GET")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                decoded = json.loads(body)
+            except (json.JSONDecodeError, ValueError):
+                decoded = None
+            message = (decoded or {}).get("error", body.decode(errors="replace"))
+            raise ServiceError(
+                exc.code, decoded, f"{method} {path} -> {exc.code}: {message}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, None, f"service unreachable at {self.base_url}: {exc}") from exc
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.1) -> dict:
+        """Poll ``GET /stats`` until the service answers (or time out)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.stats()
+            except ServiceError as exc:
+                if exc.status != 0 or time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
+    # -- endpoint wrappers -------------------------------------------------
+
+    def stats(self) -> dict:
+        return self.request("/stats")
+
+    def run(self, key: str) -> dict:
+        return self.request(f"/runs/{key}")
+
+    def results(self, **filters: Any) -> dict:
+        query = urllib.parse.urlencode(filters)
+        return self.request("/results" + (f"?{query}" if query else ""))
+
+    def submit(self, specs: list[dict], workers: int = 0) -> dict:
+        """``POST /runs``: execute (or fetch) a batch of spec dicts."""
+        return self.request("/runs", {"specs": specs, "workers": workers})

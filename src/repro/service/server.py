@@ -1,0 +1,272 @@
+"""The experiment query service: routing, handlers, HTTP plumbing.
+
+:class:`ExperimentService` is the pure request handler — method + path
++ query + body in, ``(status, payload)`` out — so every route is unit
+testable without sockets. :func:`make_server` wraps it in a threading
+stdlib HTTP server; :func:`serve` is the blocking CLI entry point.
+
+Execution goes through a store-backed
+:class:`~repro.run.runner.Runner`, so ``POST /runs`` serves previously
+computed specs straight from the store and persists anything it had to
+simulate — submitting the same batch twice costs one simulation pass,
+total.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qsl, urlparse
+
+from repro.errors import ReproError, StoreError
+from repro.run.results import ResultSet
+from repro.run.runner import MissStreamCache, Runner
+from repro.run.spec import RunSpec
+from repro.store import ExperimentStore
+
+#: Version stamp on every service response envelope.
+SERVICE_SCHEMA = "repro.service/v1"
+
+
+def _coerce(value: str) -> Any:
+    """Best-effort typing for query-string values (int, float, str)."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
+
+
+class ExperimentService:
+    """Route table + handlers over one store and one runner.
+
+    Args:
+        store: the persistent store to serve.
+        runner: execution engine for ``POST /runs``; defaults to a
+            serial store-backed runner with a private miss-stream cache
+            (the service is long-lived — a private cache keeps its
+            counters meaningful in ``GET /stats``).
+    """
+
+    def __init__(self, store: ExperimentStore, runner: Runner | None = None) -> None:
+        self.store = store
+        self.runner = (
+            runner
+            if runner is not None
+            else Runner(cache=MissStreamCache(), store=store)
+        )
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str] | None = None,
+        body: dict | None = None,
+    ) -> tuple[int, dict]:
+        """Dispatch one request; never raises — errors become payloads."""
+        query = query or {}
+        try:
+            if method == "GET" and path == "/stats":
+                return self._get_stats()
+            if method == "GET" and path == "/results":
+                return self._get_results(query)
+            if method == "GET" and path.startswith("/runs/"):
+                return self._get_run(path[len("/runs/"):])
+            if method == "POST" and path == "/runs":
+                return self._post_runs(body if body is not None else {})
+            return 404, self._envelope({"error": f"unknown route {method} {path}"})
+        except StoreError as exc:
+            # A corrupt artifact is a server-side problem, not a bad request.
+            return 500, self._envelope({"error": str(exc)})
+        except ReproError as exc:
+            # Library-validated input (unknown workload/mechanism, bad
+            # knob values, ...) is the client's mistake.
+            return 400, self._envelope({"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - service must stay alive
+            # Anything else is a server bug: report it as one instead of
+            # blaming the request, and keep serving.
+            return 500, self._envelope(
+                {"error": f"internal error: {type(exc).__name__}: {exc}"}
+            )
+
+    @staticmethod
+    def _envelope(payload: dict) -> dict:
+        return {"schema": SERVICE_SCHEMA, **payload}
+
+    # -- routes ------------------------------------------------------------
+
+    def _get_stats(self) -> tuple[int, dict]:
+        return 200, self._envelope(
+            {
+                "store": self.store.stats(),
+                "stream_cache": self.runner.cache.stats(),
+            }
+        )
+
+    def _get_run(self, key: str) -> tuple[int, dict]:
+        if not key or "/" in key:
+            return 400, self._envelope({"error": f"malformed run key {key!r}"})
+        stats = self.store.get_result(key)
+        if stats is None:
+            return 404, self._envelope({"error": f"no stored run for key {key!r}"})
+        return 200, self._envelope(
+            {"key": key, "run": json.loads(ResultSet([stats]).to_json())["runs"][0]}
+        )
+
+    def _get_results(self, query: dict[str, str]) -> tuple[int, dict]:
+        filters = {name: _coerce(value) for name, value in query.items()}
+        results = self.store.load_results()
+        if filters:
+            try:
+                results = results.filter(**filters)
+            except KeyError as exc:
+                return 400, self._envelope({"error": str(exc)})
+        payload = json.loads(results.to_json())
+        payload["count"] = len(results)
+        payload["filters"] = filters
+        return 200, self._envelope(payload)
+
+    def _post_runs(self, body: dict) -> tuple[int, dict]:
+        if not isinstance(body, dict):
+            return 400, self._envelope(
+                {"error": f"request body must be an object, got {type(body).__name__}"}
+            )
+        raw_specs = body.get("specs")
+        if not isinstance(raw_specs, list):
+            return 400, self._envelope(
+                {"error": "request body needs a 'specs' list of RunSpec objects"}
+            )
+        workers = body.get("workers", 0)
+        if not isinstance(workers, int) or workers < 0:
+            return 400, self._envelope(
+                {"error": f"'workers' must be a non-negative integer, got {workers!r}"}
+            )
+        try:
+            specs = [RunSpec.from_dict(raw) for raw in raw_specs]
+        except (TypeError, ValueError) as exc:
+            # Covers ConfigurationError plus raw type mistakes (e.g. a
+            # string scale) the dataclass validators trip over.
+            return 400, self._envelope({"error": str(exc)})
+        runner = self.runner
+        if workers > 1:
+            runner = Runner(workers=workers, cache=self.runner.cache, store=self.store)
+        # Per-request accounting via index probes, not global-counter
+        # deltas: concurrent requests share the store's persistent
+        # counters, so differencing them would attribute other
+        # requests' lookups to this one. One probe per unique key —
+        # "state at submission time".
+        unique_keys = list(dict.fromkeys(spec.key() for spec in specs))
+        hits = sum(1 for key in unique_keys if self.store.has_result(key))
+        results = runner.run(specs)
+        payload = json.loads(results.to_json())
+        payload.update(
+            {
+                "keys": [spec.key() for spec in specs],
+                "count": len(results),
+                "store_hits": hits,
+                "store_misses": len(unique_keys) - hits,
+            }
+        )
+        return 200, self._envelope(payload)
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload, sort_keys=True).encode() + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        status, payload = self.server.service.handle(
+            "GET", parsed.path, dict(parse_qsl(parsed.query))
+        )
+        self._respond(status, payload)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            self._respond(
+                400,
+                {"schema": SERVICE_SCHEMA, "error": f"request body is not JSON: {exc}"},
+            )
+            return
+        parsed = urlparse(self.path)
+        status, payload = self.server.service.handle(
+            "POST", parsed.path, dict(parse_qsl(parsed.query)), body
+        )
+        self._respond(status, payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class ExperimentServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`ExperimentService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: ExperimentService,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__(address, _RequestHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(
+    store: ExperimentStore | str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 0,
+    verbose: bool = False,
+) -> ExperimentServer:
+    """Build a ready-to-run server (``port=0`` picks a free port)."""
+    if not isinstance(store, ExperimentStore):
+        store = ExperimentStore(store)
+    runner = Runner(workers=workers, cache=MissStreamCache(), store=store)
+    return ExperimentServer((host, port), ExperimentService(store, runner), verbose)
+
+
+def serve(
+    store: ExperimentStore | str,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    workers: int = 0,
+    verbose: bool = False,
+) -> int:
+    """Blocking CLI entry point: print the address and serve forever."""
+    server = make_server(store, host=host, port=port, workers=workers, verbose=verbose)
+    print(
+        f"repro-tlb service on {server.url} "
+        f"(store: {server.service.store.root}, workers: {workers})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0

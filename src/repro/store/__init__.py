@@ -1,0 +1,37 @@
+"""Persistent experiment store: content-addressed runs and miss streams.
+
+The store turns the process-local caches of :mod:`repro.run` into a
+durable, concurrent-safe layer on disk:
+
+- **Results** — one JSON artifact per executed
+  :class:`~repro.run.spec.RunSpec`, addressed by the spec's stable
+  :meth:`~repro.run.spec.RunSpec.key`, so a sweep re-run against the
+  same store replays only the specs it has never seen.
+- **Miss streams** — the expensive phase-1 intermediates, persisted in
+  the versioned ``trace_io`` ``.npz`` format and addressed by a digest
+  of the stream identity (workload/scale/TLB/warm-up/page size, or a
+  :meth:`~repro.mem.trace.ReferenceTrace.content_key` for ad-hoc
+  traces).
+
+A SQLite index tracks sizes and access times for size-bounded LRU
+garbage collection; artifact writes are atomic (tmp + rename) so two
+processes racing on one key leave exactly one intact copy.
+
+:class:`~repro.run.runner.Runner` accepts ``store=`` and consults it
+before filtering or replaying; :mod:`repro.service` serves the same
+store over HTTP.
+"""
+
+from repro.store.store import (
+    STORE_SCHEMA,
+    ExperimentStore,
+    stream_digest_for_spec,
+    stream_digest_for_trace,
+)
+
+__all__ = [
+    "ExperimentStore",
+    "STORE_SCHEMA",
+    "stream_digest_for_spec",
+    "stream_digest_for_trace",
+]

@@ -1,0 +1,582 @@
+"""The persistent, concurrent-safe experiment store.
+
+On-disk layout (everything lives under one root directory)::
+
+    <root>/
+        index.sqlite          # entry index + persistent counters
+        results/<key>.json    # one executed RunSpec, by RunSpec.key()
+        streams/<digest>.npz  # one filtered miss stream (trace_io format)
+
+Design points:
+
+- **Content addressing.** Result artifacts are named by the spec's
+  stable :meth:`~repro.run.spec.RunSpec.key` (engine excluded — engines
+  are bit-identical by contract, so one copy serves both). Stream
+  artifacts are named by a digest of the stream identity
+  (:func:`stream_digest_for_spec` / :func:`stream_digest_for_trace`).
+- **Atomic writes.** Every artifact is written to a temporary file in
+  the same directory and ``os.replace``-d into place, so concurrent
+  writers of the same key race to an *identical* final state and a
+  reader never observes a torn file.
+- **Schema versioning.** The index records :data:`STORE_SCHEMA`; both
+  the index and every artifact are checked on read, and a mismatch
+  raises :class:`~repro.errors.StoreError` rather than guessing.
+- **LRU garbage collection.** Entries carry sizes and access times;
+  :meth:`ExperimentStore.gc` evicts least-recently-used entries until
+  the store fits ``max_bytes``, skipping entries pinned by a reader.
+- **Accounting.** Hits, misses, evictions and bytes moved are kept in
+  the index (persistent across processes) and exposed by
+  :meth:`ExperimentStore.stats` — the counters the resumable-sweep
+  guarantees are verified against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import sqlite3
+import threading
+import time
+import zipfile
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro.errors import StoreError, TraceError
+from repro.mem.trace import MissTrace
+from repro.mem.trace_io import load_miss_trace, save_miss_trace
+from repro.run.results import ResultSet
+from repro.sim.stats import PrefetchRunStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner -> store)
+    from repro.run.spec import RunSpec
+    from repro.sim.config import TLBConfig
+
+#: Version stamp shared by the SQLite index and every result artifact.
+STORE_SCHEMA = "repro.store/v1"
+
+_RESULT = "result"
+_STREAM = "stream"
+_KINDS = (_RESULT, _STREAM)
+
+#: Errors that mean "this artifact is damaged", translated to StoreError.
+_ARTIFACT_ERRORS = (
+    json.JSONDecodeError,
+    zipfile.BadZipFile,
+    TraceError,
+    ValueError,
+    KeyError,
+    EOFError,
+    OSError,
+)
+
+_tmp_counter = itertools.count()
+
+#: Temporary files younger than this survive the GC sweep: they may be
+#: an in-flight write from a live process in the tmp→rename window, and
+#: unlinking one would crash that writer's ``os.replace``. Anything
+#: older is an abandoned write from a crashed process.
+_TMP_SWEEP_AGE_SECONDS = 3600.0
+
+
+def stream_digest_for_spec(spec: "RunSpec") -> str:
+    """Stable digest of the miss stream a registry-workload spec replays.
+
+    Derived from :meth:`RunSpec.stream_key` — every field that affects
+    phase-1 TLB filtering and nothing else, so specs differing only in
+    mechanism/buffer/clamp share one stored stream.
+    """
+    canonical = "stream;" + ";".join(repr(part) for part in spec.stream_key())
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+def stream_digest_for_trace(
+    content_key: str, tlb: "TLBConfig", warmup_fraction: float
+) -> str:
+    """Stable digest for an ad-hoc trace's filtered stream.
+
+    Mirrors the in-memory cache key the :class:`~repro.run.runner.Runner`
+    uses for :class:`~repro.mem.trace.ReferenceTrace` sources: the trace
+    *content* digest (page size is already baked into the content) plus
+    the filtering TLB shape and warm-up window.
+    """
+    canonical = (
+        f"trace-stream;content={content_key};"
+        f"tlb={tlb.entries},{tlb.ways};warmup={warmup_fraction!r}"
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+class ExperimentStore:
+    """A durable, content-addressed cache of runs and miss streams.
+
+    Args:
+        root: store directory; created (with parents) if missing.
+        max_bytes: optional size bound — when set, every write is
+            followed by an LRU :meth:`gc` pass down to this budget.
+
+    Instances are safe to share between threads (one internal lock
+    serializes index access) and the on-disk format is safe to share
+    between processes (WAL SQLite + atomic artifact writes).
+    """
+
+    def __init__(self, root: str | Path, max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise StoreError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise StoreError(f"store root {self.root} exists and is not a directory")
+        self.max_bytes = max_bytes
+        self._lock = threading.RLock()
+        self._pins: Counter[tuple[str, str]] = Counter()
+        (self.root / "results").mkdir(parents=True, exist_ok=True)
+        (self.root / "streams").mkdir(parents=True, exist_ok=True)
+        self._db = sqlite3.connect(
+            self.root / "index.sqlite",
+            timeout=30.0,
+            check_same_thread=False,
+            isolation_level=None,  # autocommit; explicit BEGIN for batches
+        )
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.execute("PRAGMA synchronous=NORMAL")
+        self._db.execute("PRAGMA busy_timeout=30000")
+        self._init_schema()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _init_schema(self) -> None:
+        with self._lock:
+            self._db.execute("BEGIN IMMEDIATE")
+            try:
+                self._db.execute(
+                    "CREATE TABLE IF NOT EXISTS meta "
+                    "(key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+                )
+                self._db.execute(
+                    "CREATE TABLE IF NOT EXISTS entries ("
+                    " kind TEXT NOT NULL,"
+                    " key TEXT NOT NULL,"
+                    " path TEXT NOT NULL,"
+                    " size_bytes INTEGER NOT NULL,"
+                    " created_at REAL NOT NULL,"
+                    " last_access REAL NOT NULL,"
+                    " workload TEXT,"
+                    " mechanism TEXT,"
+                    " PRIMARY KEY (kind, key))"
+                )
+                self._db.execute(
+                    "CREATE TABLE IF NOT EXISTS counters "
+                    "(name TEXT PRIMARY KEY, value INTEGER NOT NULL)"
+                )
+                row = self._db.execute(
+                    "SELECT value FROM meta WHERE key='schema'"
+                ).fetchone()
+                if row is None:
+                    self._db.execute(
+                        "INSERT INTO meta (key, value) VALUES ('schema', ?)",
+                        (STORE_SCHEMA,),
+                    )
+                elif row[0] != STORE_SCHEMA:
+                    raise StoreError(
+                        f"store at {self.root} has schema {row[0]!r}; this "
+                        f"library reads {STORE_SCHEMA!r} — use a fresh "
+                        "directory or migrate the store"
+                    )
+                self._db.execute("COMMIT")
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+
+    def close(self) -> None:
+        """Close the index connection (artifacts need no teardown)."""
+        with self._lock:
+            self._db.close()
+
+    def __enter__(self) -> "ExperimentStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ExperimentStore({str(self.root)!r}, max_bytes={self.max_bytes})"
+
+    # -- small internals ---------------------------------------------------
+
+    def _bump(self, name: str, delta: int = 1) -> None:
+        self._db.execute(
+            "INSERT INTO counters (name, value) VALUES (?, ?) "
+            "ON CONFLICT(name) DO UPDATE SET value = value + excluded.value",
+            (name, delta),
+        )
+
+    def _write_atomic(self, final: Path, data: bytes) -> None:
+        tmp = final.parent / f".{final.name}.{os.getpid()}.{next(_tmp_counter)}.tmp"
+        tmp.write_bytes(data)
+        os.replace(tmp, final)
+
+    def _record_entry(
+        self,
+        kind: str,
+        key: str,
+        rel_path: str,
+        size: int,
+        workload: str | None,
+        mechanism: str | None,
+    ) -> None:
+        now = time.time()
+        self._db.execute(
+            "INSERT INTO entries "
+            "(kind, key, path, size_bytes, created_at, last_access, workload,"
+            " mechanism) VALUES (?, ?, ?, ?, ?, ?, ?, ?) "
+            "ON CONFLICT(kind, key) DO UPDATE SET path=excluded.path,"
+            " size_bytes=excluded.size_bytes, last_access=excluded.last_access,"
+            " workload=excluded.workload, mechanism=excluded.mechanism",
+            (kind, key, rel_path, size, now, now, workload, mechanism),
+        )
+        self._bump("bytes_written", size)
+
+    def _touch(self, kind: str, key: str) -> None:
+        self._db.execute(
+            "UPDATE entries SET last_access=? WHERE kind=? AND key=?",
+            (time.time(), kind, key),
+        )
+
+    def _drop_entry(self, kind: str, key: str) -> None:
+        self._db.execute(
+            "DELETE FROM entries WHERE kind=? AND key=?", (kind, key)
+        )
+
+    @contextmanager
+    def pinned(self, key: str, kind: str = _RESULT) -> Iterator[None]:
+        """Protect one entry from :meth:`gc` for the duration of a read.
+
+        Reads performed through the store's own methods hold the index
+        lock and are already atomic with respect to in-process GC; this
+        context manager is for callers that hold on to an artifact path
+        across their own multi-step read.
+
+        Pins are **process-local**: they guard against GC run through
+        any handle in this process (threads included), not against a
+        ``cache gc`` launched from another process. Cross-process, the
+        store's own read methods stay safe anyway — an artifact deleted
+        between index lookup and file read is reported as an honest
+        miss, never a torn read — but a path held across a multi-step
+        external read can dangle if another process collects it.
+        """
+        handle = (kind, key)
+        with self._lock:
+            self._pins[handle] += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._pins[handle] -= 1
+                if self._pins[handle] <= 0:
+                    del self._pins[handle]
+
+    # -- results -----------------------------------------------------------
+
+    def has_result(self, key: str) -> bool:
+        """Index-only presence probe: no counters, no artifact read.
+
+        For callers that need to *report* on cache state (e.g. the
+        service's per-request hit accounting) without perturbing the
+        hit/miss counters or paying a file read.
+        """
+        with self._lock:
+            return (
+                self._db.execute(
+                    "SELECT 1 FROM entries WHERE kind=? AND key=?", (_RESULT, key)
+                ).fetchone()
+                is not None
+            )
+
+    def get_result(self, key: str) -> PrefetchRunStats | None:
+        """Stored row for a spec key, or ``None`` (counted as hit/miss).
+
+        Raises :class:`~repro.errors.StoreError` if the artifact exists
+        but cannot be decoded (truncated/corrupt file).
+        """
+        with self._lock:
+            row = self._db.execute(
+                "SELECT path FROM entries WHERE kind=? AND key=?", (_RESULT, key)
+            ).fetchone()
+            if row is None:
+                self._bump("result_misses")
+                return None
+            path = self.root / row[0]
+            try:
+                data = path.read_bytes()
+            except FileNotFoundError:
+                # Another process GC'd the artifact after we indexed it:
+                # drop the stale row and report an honest miss.
+                self._drop_entry(_RESULT, key)
+                self._bump("result_misses")
+                return None
+            stats = self._decode_result(path, data)
+            self._touch(_RESULT, key)
+            self._bump("result_hits")
+            self._bump("bytes_read", len(data))
+            return stats
+
+    @staticmethod
+    def _decode_result(path: Path, data: bytes) -> PrefetchRunStats:
+        try:
+            payload = json.loads(data)
+            schema = payload["schema"]
+            run = payload["run"]
+            if schema != STORE_SCHEMA:
+                raise StoreError(
+                    f"{path}: artifact schema {schema!r} is not {STORE_SCHEMA!r}"
+                )
+            if not isinstance(run, dict):
+                raise StoreError(f"{path}: 'run' is not an object")
+            return PrefetchRunStats(**run)
+        except StoreError:
+            raise
+        except (_ARTIFACT_ERRORS + (TypeError,)) as exc:
+            raise StoreError(
+                f"{path}: corrupt result artifact "
+                f"({type(exc).__name__}: {exc}); delete it or run gc"
+            ) from exc
+
+    def put_result(self, spec: "RunSpec", stats: PrefetchRunStats) -> str:
+        """Store one executed spec; returns its key."""
+        return self.put_results([(spec, stats)])[0]
+
+    def put_results(
+        self, pairs: Iterable[tuple["RunSpec", PrefetchRunStats]]
+    ) -> list[str]:
+        """Store a batch of executed specs in one index transaction.
+
+        Artifact writes are atomic per file; the index rows commit
+        together, which keeps a cold sweep's write-back cost to a single
+        fsync instead of one per spec.
+        """
+        pairs = list(pairs)
+        keys: list[str] = []
+        with self._lock:
+            self._db.execute("BEGIN IMMEDIATE")
+            try:
+                for spec, stats in pairs:
+                    key = spec.key()
+                    rel = f"results/{key}.json"
+                    payload = {
+                        "schema": STORE_SCHEMA,
+                        "key": key,
+                        "spec": spec.to_dict(),
+                        "run": asdict(stats),
+                    }
+                    data = (json.dumps(payload, sort_keys=True) + "\n").encode()
+                    self._write_atomic(self.root / rel, data)
+                    self._record_entry(
+                        _RESULT, key, rel, len(data), spec.workload,
+                        spec.mechanism.label,
+                    )
+                    keys.append(key)
+                self._db.execute("COMMIT")
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+        if self.max_bytes is not None:
+            self.gc()
+        return keys
+
+    def load_results(self) -> ResultSet:
+        """Every stored run as one :class:`ResultSet` (insertion order).
+
+        The bulk read behind ``GET /results``; does not touch the
+        hit/miss counters (those account keyed lookups).
+        """
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT path FROM entries WHERE kind=? "
+                "ORDER BY created_at ASC, key ASC",
+                (_RESULT,),
+            ).fetchall()
+        # Read artifacts outside the index lock: a bulk read must not
+        # stall concurrent keyed lookups. An artifact GC'd between the
+        # snapshot and its read is simply skipped.
+        runs: list[PrefetchRunStats] = []
+        total = 0
+        for (rel,) in rows:
+            path = self.root / rel
+            try:
+                data = path.read_bytes()
+            except FileNotFoundError:
+                continue
+            runs.append(self._decode_result(path, data))
+            total += len(data)
+        with self._lock:
+            self._bump("bytes_read", total)
+        return ResultSet(runs)
+
+    # -- miss streams ------------------------------------------------------
+
+    def get_stream(self, digest: str) -> MissTrace | None:
+        """Stored miss stream for a digest, or ``None``."""
+        with self._lock:
+            row = self._db.execute(
+                "SELECT path FROM entries WHERE kind=? AND key=?",
+                (_STREAM, digest),
+            ).fetchone()
+            if row is None:
+                self._bump("stream_misses")
+                return None
+            path = self.root / row[0]
+            if not path.exists():
+                self._drop_entry(_STREAM, digest)
+                self._bump("stream_misses")
+                return None
+            try:
+                stream = load_miss_trace(path)
+            except _ARTIFACT_ERRORS as exc:
+                raise StoreError(
+                    f"{path}: corrupt miss-stream artifact "
+                    f"({type(exc).__name__}: {exc}); delete it or run gc"
+                ) from exc
+            self._touch(_STREAM, digest)
+            self._bump("stream_hits")
+            self._bump("bytes_read", path.stat().st_size)
+            return stream
+
+    def put_stream(self, digest: str, stream: MissTrace) -> str:
+        """Store one filtered miss stream under ``digest``."""
+        rel = f"streams/{digest}.npz"
+        final = self.root / rel
+        with self._lock:
+            tmp = (
+                final.parent
+                / f".{final.name}.{os.getpid()}.{next(_tmp_counter)}.tmp.npz"
+            )
+            save_miss_trace(stream, tmp)
+            os.replace(tmp, final)
+            size = final.stat().st_size
+            self._db.execute("BEGIN IMMEDIATE")
+            try:
+                self._record_entry(_STREAM, digest, rel, size, stream.name, None)
+                self._db.execute("COMMIT")
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+        if self.max_bytes is not None:
+            self.gc()
+        return digest
+
+    # -- introspection -----------------------------------------------------
+
+    def entries(self, kind: str | None = None) -> list[dict[str, Any]]:
+        """Index rows as dictionaries, most recently used first."""
+        if kind is not None and kind not in _KINDS:
+            raise StoreError(f"unknown entry kind {kind!r}; expected {_KINDS}")
+        query = (
+            "SELECT kind, key, path, size_bytes, created_at, last_access,"
+            " workload, mechanism FROM entries"
+        )
+        params: tuple = ()
+        if kind is not None:
+            query += " WHERE kind=?"
+            params = (kind,)
+        query += " ORDER BY last_access DESC, key ASC"
+        with self._lock:
+            rows = self._db.execute(query, params).fetchall()
+        names = (
+            "kind", "key", "path", "size_bytes", "created_at", "last_access",
+            "workload", "mechanism",
+        )
+        return [dict(zip(names, row)) for row in rows]
+
+    def stats(self) -> dict[str, Any]:
+        """Counts, sizes and the persistent hit/miss/bytes counters."""
+        with self._lock:
+            per_kind = {
+                kind: (count, size)
+                for kind, count, size in self._db.execute(
+                    "SELECT kind, COUNT(*), COALESCE(SUM(size_bytes), 0) "
+                    "FROM entries GROUP BY kind"
+                ).fetchall()
+            }
+            counters = dict(
+                self._db.execute("SELECT name, value FROM counters").fetchall()
+            )
+        result_count, result_bytes = per_kind.get(_RESULT, (0, 0))
+        stream_count, stream_bytes = per_kind.get(_STREAM, (0, 0))
+        return {
+            "schema": STORE_SCHEMA,
+            "root": str(self.root),
+            "max_bytes": self.max_bytes,
+            "result_entries": result_count,
+            "stream_entries": stream_count,
+            "total_bytes": result_bytes + stream_bytes,
+            "result_hits": counters.get("result_hits", 0),
+            "result_misses": counters.get("result_misses", 0),
+            "stream_hits": counters.get("stream_hits", 0),
+            "stream_misses": counters.get("stream_misses", 0),
+            "evictions": counters.get("evictions", 0),
+            "bytes_read": counters.get("bytes_read", 0),
+            "bytes_written": counters.get("bytes_written", 0),
+        }
+
+    # -- garbage collection ------------------------------------------------
+
+    def gc(self, max_bytes: int | None = None) -> dict[str, int]:
+        """Evict least-recently-used entries down to a byte budget.
+
+        Args:
+            max_bytes: budget for this pass; defaults to the store's
+                configured :attr:`max_bytes`. ``None`` for both means
+                only stale temporary files are swept.
+
+        Entries currently :meth:`pinned` by a reader in this process are
+        never evicted, whatever the budget. Returns a report dictionary
+        with ``evicted``, ``reclaimed_bytes`` and ``total_bytes``.
+        """
+        limit = self.max_bytes if max_bytes is None else max_bytes
+        evicted = 0
+        reclaimed = 0
+        with self._lock:
+            # Sweep temporaries abandoned by a crashed writer — but only
+            # old ones: a *fresh* tmp file may belong to a concurrent
+            # writer between its write and its atomic rename.
+            now = time.time()
+            for subdir in ("results", "streams"):
+                for stale in (self.root / subdir).glob(".*.tmp*"):
+                    try:
+                        if now - stale.stat().st_mtime >= _TMP_SWEEP_AGE_SECONDS:
+                            stale.unlink(missing_ok=True)
+                    except OSError:
+                        continue  # vanished mid-sweep (the writer renamed it)
+            rows = self._db.execute(
+                "SELECT kind, key, path, size_bytes FROM entries "
+                "ORDER BY last_access ASC, key ASC"
+            ).fetchall()
+            total = sum(row[3] for row in rows)
+            if limit is not None:
+                self._db.execute("BEGIN IMMEDIATE")
+                try:
+                    for kind, key, rel, size in rows:
+                        if total <= limit:
+                            break
+                        if self._pins.get((kind, key)):
+                            continue
+                        (self.root / rel).unlink(missing_ok=True)
+                        self._drop_entry(kind, key)
+                        total -= size
+                        reclaimed += size
+                        evicted += 1
+                    if evicted:
+                        self._bump("evictions", evicted)
+                    self._db.execute("COMMIT")
+                except BaseException:
+                    self._db.execute("ROLLBACK")
+                    raise
+        return {
+            "evicted": evicted,
+            "reclaimed_bytes": reclaimed,
+            "total_bytes": total,
+        }

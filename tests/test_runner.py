@@ -344,6 +344,102 @@ class TestRunnerEdgeCases:
             ResultSet.load(path)
 
 
+class TestMissStreamCacheStats:
+    def test_stats_snapshot_tracks_hits_misses_evictions(self):
+        cache = MissStreamCache(maxsize=1)
+        runner = Runner(cache=cache)
+        runner.run([spec_of(), spec_of(tlb=TLBConfig(entries=64)), spec_of()])
+        assert cache.stats() == {
+            "entries": 1,
+            "maxsize": 1,
+            "hits": 0,
+            "misses": 3,
+            "evictions": 2,
+        }
+
+    def test_clear_zeroes_every_counter(self):
+        cache = MissStreamCache(maxsize=1)
+        Runner(cache=cache).run([spec_of(), spec_of(tlb=TLBConfig(entries=64))])
+        cache.clear()
+        assert cache.stats() == {
+            "entries": 0,
+            "maxsize": 1,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }
+
+
+class TestRunSpecDictRoundTrip:
+    def test_to_dict_from_dict_preserves_identity(self):
+        spec = spec_of(
+            mechanism="DP",
+            tlb=TLBConfig(entries=64, ways=2),
+            buffer_entries=32,
+            warmup_fraction=0.1,
+            page_size=8192,
+            rows=128,
+            slots=4,
+        )
+        clone = RunSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.key() == spec.key()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="bogus"):
+            RunSpec.from_dict({"workload": "galgel", "bogus": 1})
+        with pytest.raises(ConfigurationError, match="workload"):
+            RunSpec.from_dict({"mechanism": "DP"})
+        with pytest.raises(ConfigurationError, match="object"):
+            RunSpec.from_dict(["galgel"])
+
+    def test_from_dict_applies_defaults(self):
+        spec = RunSpec.from_dict({"workload": "galgel"})
+        assert spec == RunSpec.of("galgel", "DP")
+
+
+class TestResultSetMerge:
+    def _rows(self, *mechanisms):
+        return Runner(cache=MissStreamCache()).run(
+            [spec_of(mechanism=m) for m in mechanisms]
+        )
+
+    def test_disjoint_union(self):
+        merged = self._rows("DP").merge(self._rows("RP"))
+        assert len(merged) == 2
+        assert {run.extra["mechanism_name"] for run in merged} == {"DP", "RP"}
+
+    def test_identical_duplicates_collapse(self):
+        dp = self._rows("DP")
+        partial = self._rows("DP", "RP")
+        merged = partial.merge(dp)
+        assert len(merged) == 2
+        assert merged[:2].to_json() == partial.to_json()
+
+    def test_conflicting_rows_for_same_spec_raise(self):
+        from dataclasses import replace
+
+        from repro.errors import ResultMergeError
+
+        original = self._rows("DP")
+        conflicting = ResultSet([replace(original[0], pb_hits=0)])
+        with pytest.raises(ResultMergeError, match=original[0].extra["spec_key"]):
+            original.merge(conflicting)
+
+    def test_rows_without_spec_key_always_append(self):
+        loose = ResultSet(
+            [evaluate(get_trace("galgel", SCALE), spec_of().build_prefetcher())]
+        )
+        merged = loose.merge(loose)
+        assert len(merged) == 2  # no key, no dedup — appended verbatim
+
+    def test_merge_multiple_sets(self):
+        merged = self._rows("DP").merge(self._rows("RP"), self._rows("DP", "ASP"))
+        assert len(merged) == 3
+
+
 class TestExperimentContextIntegration:
     def test_context_executes_through_runner(self):
         from repro.analysis.experiments import ExperimentContext
