@@ -16,17 +16,88 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
+import repro
 from repro import ENGINES, ExperimentStore, MissStreamCache, Runner, RunSpec
 from repro.analysis.figures import figure7_configs
 
 #: Small but behaviour-diverse: strided, pointer-walk, interleaved, noise.
 SMOKE_APPS = ("galgel", "swim", "ammp", "eon")
+
+
+def distributed_phase(
+    specs: list[RunSpec], reference_json: str, max_workers: int
+) -> dict:
+    """Time the smoke sweep through the scheduler at 1..N workers.
+
+    Each worker-count run gets a fresh store and an in-process server;
+    the workers are real ``repro-tlb worker`` subprocesses, and the
+    timer starts only after every worker has announced itself (their
+    cold-start imports are not the scheduler's throughput).
+    """
+    from repro.sched import SchedulerClient
+    from repro.service import make_server
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+    scaling: dict[str, float] = {}
+    identical = True
+    with tempfile.TemporaryDirectory(prefix="repro-dist-smoke-") as root:
+        for count in sorted({1, max_workers}):
+            server = make_server(Path(root) / f"store{count}", port=0)
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            client = SchedulerClient(server.url)
+            client.wait_ready()
+            workers = [
+                subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro.cli", "worker",
+                        "--url", server.url, "--poll", "0.02", "--batch", "8",
+                    ],
+                    env=env,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL,
+                    text=True,
+                )
+                for _ in range(count)
+            ]
+            try:
+                for worker in workers:
+                    worker.stdout.readline()  # "... polling ..." = ready
+                started = time.perf_counter()
+                results = client.submit_sweep(specs, poll_interval=0.05, timeout=600)
+                scaling[str(count)] = round(time.perf_counter() - started, 4)
+            finally:
+                for worker in workers:
+                    worker.terminate()
+                for worker in workers:
+                    worker.wait(timeout=30)
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=10)
+            identical = identical and results.to_json() == reference_json
+    elapsed = scaling[str(max_workers)]
+    return {
+        "distributed_workers": max_workers,
+        "distributed_elapsed_seconds": elapsed,
+        "distributed_specs_per_second": round(len(specs) / elapsed, 2)
+        if elapsed
+        else 0.0,
+        "distributed_identical": identical,
+        "distributed_scaling": scaling,
+        "distributed_scaling_speedup": round(scaling["1"] / elapsed, 2)
+        if elapsed
+        else 0.0,
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,6 +117,13 @@ def main(argv: list[str] | None = None) -> int:
         default=3,
         help="timed repetitions per engine; the fastest is recorded "
         "(noise-robust: scheduler interference only ever slows a run down)",
+    )
+    parser.add_argument(
+        "--distributed-workers",
+        type=int,
+        default=0,
+        help="also run the batch through the sweep scheduler with 1..N "
+        "worker subprocesses and record the scaling (0 = skip)",
     )
     args = parser.parse_args(argv)
 
@@ -137,6 +215,21 @@ def main(argv: list[str] | None = None) -> int:
         (store_cold_elapsed - elapsed) / elapsed if elapsed else 0.0
     )
 
+    # Distributed phase: the same batch through the scheduler + a real
+    # worker fleet, recording end-to-end throughput and worker scaling.
+    distributed: dict = {
+        "distributed_workers": None,
+        "distributed_elapsed_seconds": None,
+        "distributed_specs_per_second": None,
+        "distributed_identical": None,
+        "distributed_scaling": None,
+        "distributed_scaling_speedup": None,
+    }
+    if args.distributed_workers > 0:
+        distributed = distributed_phase(
+            specs, results.to_json(), args.distributed_workers
+        )
+
     # Track the paper's representative DP configuration explicitly
     # (r=256, direct-mapped) — pivot would silently keep whichever DP
     # bar comes last in the legend.
@@ -166,6 +259,7 @@ def main(argv: list[str] | None = None) -> int:
         "store_warm_all_hits": store_warm_all_hits,
         "store_identical": store_identical,
         "store_bytes": store_bytes,
+        **distributed,
         "mean_dp256_accuracy": round(
             sum(run.prediction_accuracy for run in dp_repr) / len(dp_repr), 4
         ),
@@ -192,8 +286,20 @@ def main(argv: list[str] | None = None) -> int:
         f"{store_warm_elapsed:.2f}s, {store_warm_speedup:.0f}x, "
         f"all-hits={store_warm_all_hits} bit-identical={store_identical}"
     )
+    if distributed["distributed_workers"]:
+        print(
+            f"[smoke] distributed: {distributed['distributed_workers']} workers "
+            f"{distributed['distributed_elapsed_seconds']:.2f}s "
+            f"({distributed['distributed_specs_per_second']} specs/s, "
+            f"scaling {distributed['distributed_scaling']}, "
+            f"{distributed['distributed_scaling_speedup']}x vs 1 worker) "
+            f"bit-identical={distributed['distributed_identical']}"
+        )
     if not engines_identical:
         print("[smoke] ERROR: engines diverged — fast path is not bit-identical")
+        return 1
+    if distributed["distributed_identical"] is False:
+        print("[smoke] ERROR: distributed sweep diverged from serial execution")
         return 1
     if parallel_identical is False:
         print("[smoke] ERROR: parallel batch diverged from serial (Runner bug)")

@@ -74,6 +74,13 @@ class ExperimentContext:
             a table/figure against the same store replays only the specs
             it has never executed (resumable sweeps). Mutually exclusive
             with ``runner`` (give the runner its own store instead).
+        executor: execution backend for the default runner — ``"auto"``,
+            ``"serial"``, ``"pool"``, or ``"distributed"`` (sweeps are
+            submitted to the scheduler service at ``service_url`` and
+            replayed by its worker fleet). Mutually exclusive with
+            ``runner``.
+        service_url: ``repro-tlb serve`` address for the distributed
+            executor.
     """
 
     def __init__(
@@ -84,16 +91,27 @@ class ExperimentContext:
         runner: Runner | None = None,
         engine: str = "auto",
         store=None,
+        executor: str = "auto",
+        service_url: str | None = None,
     ) -> None:
-        if runner is not None and store is not None:
+        if runner is not None and (
+            store is not None or service_url is not None or executor != "auto"
+        ):
             raise ConfigurationError(
-                "pass either runner= or store=, not both (a Runner already "
-                "carries its own store)"
+                "pass either runner= or store=/executor=/service_url=, not "
+                "both (a Runner already carries its own store and executor)"
             )
         self.scale = scale
         self.buffer_entries = buffer_entries
         self.runner = (
-            runner if runner is not None else Runner(workers=workers, store=store)
+            runner
+            if runner is not None
+            else Runner(
+                workers=workers,
+                store=store,
+                executor=executor,
+                service_url=service_url,
+            )
         )
         self.engine = engine
 

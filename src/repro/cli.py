@@ -26,6 +26,15 @@ Persistent store + service (see README "Persistent store & service")::
     repro-tlb cache gc --store .repro-store --max-bytes 100000000
     repro-tlb serve --store .repro-store --port 8321
 
+Distributed sweeps (see README "Distributed sweeps")::
+
+    repro-tlb serve --store .repro-store --port 8321      # scheduler + store
+    repro-tlb worker --url http://127.0.0.1:8321 --store .repro-store
+    repro-tlb submit --url http://127.0.0.1:8321 --app galgel --app swim --wait
+    repro-tlb jobs status --url http://127.0.0.1:8321
+    repro-tlb jobs cancel --url http://127.0.0.1:8321 --sweep SWEEP_ID
+    repro-tlb figure7 --scale 0.25 --service-url http://127.0.0.1:8321
+
 (Equivalently ``python -m repro.cli ...``.)
 """
 
@@ -72,6 +81,23 @@ def _add_store(parser: argparse.ArgumentParser, required: bool = False) -> None:
             "previously executed specs are served from it and new results "
             "are written back"
         ),
+    )
+
+
+def _add_service_url(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--service-url",
+        help=(
+            "scheduler service address (repro-tlb serve); when given, the "
+            "batch is submitted as a distributed sweep and replayed by the "
+            "service's worker fleet instead of locally"
+        ),
+    )
+
+
+def _add_url(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--url", required=True, help="scheduler service address (repro-tlb serve)"
     )
 
 
@@ -161,6 +187,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workers(table2)
     _add_engine(table2)
     _add_store(table2)
+    _add_service_url(table2)
 
     table3 = sub.add_parser("table3", help="regenerate Table 3 (normalized cycles)")
     _add_scale(table3)
@@ -174,6 +201,7 @@ def _build_parser() -> argparse.ArgumentParser:
         _add_workers(fig)
         _add_engine(fig)
         _add_store(fig)
+        _add_service_url(fig)
 
     figure9 = sub.add_parser("figure9", help="regenerate Figure 9 (DP sensitivity)")
     figure9.add_argument(
@@ -186,6 +214,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workers(figure9)
     _add_engine(figure9)
     _add_store(figure9)
+    _add_service_url(figure9)
 
     cache = sub.add_parser(
         "cache", help="inspect and maintain a persistent experiment store"
@@ -221,6 +250,87 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log every request to stderr"
     )
     _add_workers(serve)
+
+    worker = sub.add_parser(
+        "worker", help="run one sweep worker against a scheduler service"
+    )
+    _add_url(worker)
+    _add_store(worker)
+    worker.add_argument(
+        "--lease", type=float, default=15.0,
+        help="job lease length in seconds (heartbeats extend it; default 15)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.25,
+        help="seconds between empty claim polls (default 0.25)",
+    )
+    worker.add_argument(
+        "--batch", type=int, default=4,
+        help="jobs claimed per request (default 4)",
+    )
+    worker.add_argument(
+        "--max-jobs", type=int, default=None,
+        help="exit after processing this many jobs (default: run until killed)",
+    )
+    worker.add_argument("--worker-id", help="override the host:pid:nonce identity")
+    worker.add_argument(
+        "--crash-after-claims", type=int, default=None, help=argparse.SUPPRESS
+    )  # fault injection for the scheduler tests: vanish mid-lease
+    worker.add_argument(
+        "--slow", type=float, default=0.0, dest="slow_seconds",
+        help=argparse.SUPPRESS,
+    )  # fault injection: sleep before each replay (kill-mid-sweep tests)
+
+    submit = sub.add_parser(
+        "submit", help="submit a sweep to a scheduler service"
+    )
+    _add_url(submit)
+    source = submit.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--app", action="append", dest="apps",
+        help="application name (repeatable; crossed with every --mechanism)",
+    )
+    source.add_argument(
+        "--specs-file",
+        help="JSON file holding a list of RunSpec dicts (RunSpec.to_dict form)",
+    )
+    submit.add_argument(
+        "--mechanism", action="append", dest="mechanisms",
+        choices=sorted(PREFETCHER_NAMES),
+        help="prefetch mechanism (repeatable; default DP)",
+    )
+    submit.add_argument("--rows", type=int, default=256, help="prediction table rows r")
+    submit.add_argument("--slots", type=int, default=2, help="prediction slots s")
+    submit.add_argument(
+        "--buffer", type=int, default=16, help="prefetch buffer entries b"
+    )
+    submit.add_argument(
+        "--sweep-id",
+        help="explicit sweep id — resubmitting it resumes the sweep",
+    )
+    submit.add_argument(
+        "--max-attempts", type=int, default=None,
+        help="per-job claim budget before a job is parked as failed",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the fleet drains the sweep and print the rows",
+    )
+    _add_scale(submit)
+    _add_engine(submit)
+
+    jobs = sub.add_parser("jobs", help="inspect or cancel scheduler sweeps")
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+    jobs_status = jobs_sub.add_parser(
+        "status", help="queue progress (optionally one sweep)"
+    )
+    _add_url(jobs_status)
+    jobs_status.add_argument("--sweep", help="sweep id to report on")
+    jobs_cancel = jobs_sub.add_parser(
+        "cancel", help="cancel a sweep's queued jobs"
+    )
+    _add_url(jobs_cancel)
+    jobs_cancel.add_argument("--sweep", required=True, help="sweep id to cancel")
 
     return parser
 
@@ -375,6 +485,89 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.sched import run_worker
+
+    return run_worker(
+        args.url,
+        store=args.store,
+        lease_seconds=args.lease,
+        poll_interval=args.poll,
+        batch=args.batch,
+        max_jobs=args.max_jobs,
+        worker_id=args.worker_id,
+        crash_after_claims=args.crash_after_claims,
+        slow_seconds=args.slow_seconds,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.sched import SchedulerClient
+
+    if args.specs_file:
+        specs = json_module.loads(open(args.specs_file).read())
+        if not isinstance(specs, list):
+            print(f"{args.specs_file}: expected a JSON list of RunSpec dicts")
+            return 1
+        specs = [RunSpec.from_dict(raw) for raw in specs]
+    else:
+        mechanisms = args.mechanisms or ["DP"]
+        specs = [
+            RunSpec.of(
+                app,
+                mechanism,
+                scale=args.scale,
+                buffer_entries=args.buffer,
+                engine=args.engine,
+                rows=args.rows,
+                slots=args.slots,
+            )
+            for app in args.apps
+            for mechanism in mechanisms
+        ]
+    client = SchedulerClient(args.url)
+    if args.wait:
+        results = client.submit_sweep(
+            specs, sweep_id=args.sweep_id, max_attempts=args.max_attempts
+        )
+        for stats in results:
+            print(stats.one_line())
+        print(f"{len(results)} rows")
+        return 0
+    batch = client.submit_jobs(
+        [spec.to_dict() for spec in specs],
+        sweep_id=args.sweep_id,
+        max_attempts=args.max_attempts,
+    )
+    print(
+        f"sweep {batch['sweep_id']}: {batch['total']} jobs "
+        f"({batch['queued']} queued, {batch['precompleted']} already stored)"
+    )
+    print(f"watch it: repro-tlb jobs status --url {args.url} --sweep {batch['sweep_id']}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.sched import SchedulerClient
+
+    client = SchedulerClient(args.url)
+    if args.jobs_command == "status":
+        progress = client.progress(getattr(args, "sweep", None))
+        scope = progress["sweep_id"] or "all sweeps"
+        print(f"{scope}: {progress['total']} jobs")
+        for state in ("queued", "running", "done", "failed", "cancelled"):
+            print(f"  {state:<10} {progress[state]}")
+        for job in progress.get("failed_jobs", []):
+            print(f"  failed {job['id']} ({job['spec_key']}): {job['error']}")
+        return 0 if not progress["failed"] else 1
+    if args.jobs_command == "cancel":
+        outcome = client.cancel(args.sweep)
+        print(f"sweep {args.sweep}: cancelled {outcome['cancelled']} queued job(s)")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -395,6 +588,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "jobs":
+        return _cmd_jobs(args)
     if args.command == "table1":
         print(ExperimentContext(scale=0.05).run_table1())
         return 0
@@ -404,6 +603,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         workers=getattr(args, "workers", 0),
         engine=getattr(args, "engine", "auto"),
         store=getattr(args, "store", None),
+        service_url=getattr(args, "service_url", None),
     )
     if args.command == "table2":
         print(compare_table2(context.run_table2()))

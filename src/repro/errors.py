@@ -55,6 +55,17 @@ class StoreError(ReproError):
     """
 
 
+class SchedulerError(ReproError):
+    """The distributed sweep scheduler cannot proceed.
+
+    Raised for malformed queue operations (bad lease/limit values,
+    conflicting sweep resubmissions) and by
+    :meth:`~repro.sched.client.SchedulerClient.submit_sweep` when a
+    sweep finishes with failed or cancelled jobs — the per-job errors
+    are included so the caller sees *which* specs died and why.
+    """
+
+
 class ResultMergeError(ReproError, ValueError):
     """Two result sets disagree about the same spec key.
 

@@ -20,6 +20,11 @@ With ``store=`` the runner additionally consults a persistent
 specs come back without filtering or replaying, freshly computed rows
 (serial or from worker processes) are written back exactly once per
 spec, and in-process stream builds are persisted for future processes.
+
+With ``executor="distributed"`` (plus ``service_url=``) the batch is
+not executed locally at all: it is submitted as a sweep to a scheduler
+service (``repro-tlb serve``) and replayed by whatever worker fleet is
+polling it — same rows, same order, byte-identical to serial.
 """
 
 from __future__ import annotations
@@ -193,19 +198,52 @@ class Runner:
             worker processes. Miss streams built in-process are
             persisted too, so even a cold process skips phase 1 for
             streams the store has seen.
+        executor: execution backend for :meth:`run` — ``"auto"``
+            (default: a process pool when ``workers > 1``, else
+            serial), ``"serial"``, ``"pool"``, or ``"distributed"``
+            (submit batches as sweeps to a scheduler service; requires
+            ``service_url``). All backends return identical rows.
+        service_url: address of a ``repro-tlb serve`` instance for the
+            distributed executor; giving one with ``executor="auto"``
+            selects distributed execution.
     """
+
+    EXECUTORS = ("auto", "serial", "pool", "distributed")
 
     def __init__(
         self,
         workers: int | None = None,
         cache: MissStreamCache | None = None,
         store: "ExperimentStore | str | Path | None" = None,
+        executor: str = "auto",
+        service_url: str | None = None,
     ) -> None:
+        from repro.errors import ConfigurationError
+
         self.workers = max(0, int(workers or 0))
         self.cache = cache if cache is not None else SHARED_CACHE
         if store is not None and not isinstance(store, ExperimentStore):
             store = ExperimentStore(store)
         self.store = store
+        if executor not in self.EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; expected one of {self.EXECUTORS}"
+            )
+        if executor == "auto" and service_url is not None:
+            executor = "distributed"
+        if executor == "distributed" and service_url is None:
+            raise ConfigurationError(
+                "executor='distributed' needs a service_url "
+                "(a repro-tlb serve address)"
+            )
+        self.executor = executor
+        self.service_url = service_url
+        self._distributed = None
+        if executor == "distributed":
+            # Local import: repro.sched builds on this module.
+            from repro.sched.executor import DistributedExecutor
+
+            self._distributed = DistributedExecutor(service_url)
 
     # -- miss streams ------------------------------------------------------
 
@@ -312,7 +350,13 @@ class Runner:
 
     def _execute(self, spec_list: list[RunSpec]) -> list[PrefetchRunStats]:
         """Compute every spec (no store consultation)."""
-        if self.workers > 1 and len(spec_list) > 1:
+        if self._distributed is not None:
+            return self._distributed.run(spec_list)
+        if (
+            self.executor != "serial"
+            and self.workers > 1
+            and len(spec_list) > 1
+        ):
             return self._run_parallel(spec_list)
         return [self.run_one(spec) for spec in spec_list]
 

@@ -1,0 +1,173 @@
+"""Client side of the distributed sweep scheduler.
+
+:class:`SchedulerClient` extends the plain
+:class:`~repro.service.client.ServiceClient` with the job-queue
+endpoints, and :meth:`SchedulerClient.submit_sweep` is the high-level
+entry point: submit a RunSpec batch, poll until the worker fleet has
+drained it, and assemble the rows into a :class:`~repro.run.results.ResultSet`
+**in submission order** — byte-identical to what a serial
+:class:`~repro.run.runner.Runner` would have returned, because replays
+are deterministic and every row round-trips through the same
+content-addressed store.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.parse
+import uuid
+from collections.abc import Iterable
+from typing import Any
+
+from repro.errors import SchedulerError
+from repro.run.results import ResultSet
+from repro.run.spec import RunSpec
+from repro.service.client import ServiceClient
+from repro.sim.stats import PrefetchRunStats
+
+
+class SchedulerClient(ServiceClient):
+    """ServiceClient plus the lease-based job-queue protocol."""
+
+    # -- endpoint wrappers -------------------------------------------------
+
+    def submit_jobs(
+        self,
+        specs: list[dict],
+        sweep_id: str | None = None,
+        max_attempts: int | None = None,
+    ) -> dict:
+        """``POST /jobs``: enqueue a sweep of spec dicts."""
+        body: dict[str, Any] = {"specs": specs}
+        if sweep_id is not None:
+            body["sweep_id"] = sweep_id
+        if max_attempts is not None:
+            body["max_attempts"] = max_attempts
+        return self.request("/jobs", body)
+
+    def claim(
+        self,
+        worker_id: str,
+        limit: int = 1,
+        lease_seconds: float | None = None,
+    ) -> list[dict]:
+        """``POST /claim``: lease up to ``limit`` jobs.
+
+        Retried on transport failure (marked idempotent): a claim the
+        server processed but whose response was lost is recovered by
+        lease expiry, and results stay correct — content-addressed
+        rows, idempotent completion. The recovery is not free, though:
+        an orphaned claim consumes one of the job's ``max_attempts``
+        (the server cannot tell a lost response from a worker that
+        died mid-replay), so persistent response loss can park a job
+        as failed; resubmitting the sweep resets the budget.
+        """
+        body: dict[str, Any] = {"worker_id": worker_id, "limit": limit}
+        if lease_seconds is not None:
+            body["lease_seconds"] = lease_seconds
+        return self.request("/claim", body, idempotent=True)["jobs"]
+
+    def complete(
+        self,
+        job_id: str,
+        worker_id: str,
+        run: dict | None = None,
+        error: str | None = None,
+    ) -> dict:
+        """``POST /complete``: deliver a result row (or report failure).
+
+        Idempotent server-side, so marked retryable here.
+        """
+        body: dict[str, Any] = {"job_id": job_id, "worker_id": worker_id}
+        if run is not None:
+            body["run"] = run
+        if error is not None:
+            body["error"] = error
+        return self.request("/complete", body, idempotent=True)
+
+    def heartbeat(
+        self,
+        worker_id: str,
+        job_ids: list[str],
+        lease_seconds: float | None = None,
+    ) -> dict:
+        """``POST /heartbeat``: extend leases; reports owned vs lost."""
+        body: dict[str, Any] = {"worker_id": worker_id, "job_ids": job_ids}
+        if lease_seconds is not None:
+            body["lease_seconds"] = lease_seconds
+        return self.request("/heartbeat", body, idempotent=True)
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>``: one job's full record."""
+        return self.request(f"/jobs/{urllib.parse.quote(job_id, safe='')}")
+
+    def progress(self, sweep_id: str | None = None) -> dict:
+        """``GET /progress``: state counts for one sweep (or the queue)."""
+        suffix = (
+            "?" + urllib.parse.urlencode({"sweep_id": sweep_id})
+            if sweep_id is not None
+            else ""
+        )
+        return self.request("/progress" + suffix)
+
+    def cancel(self, sweep_id: str) -> dict:
+        """``POST /cancel``: cancel a sweep's queued jobs."""
+        return self.request("/cancel", {"sweep_id": sweep_id})
+
+    # -- the high-level sweep driver ---------------------------------------
+
+    def submit_sweep(
+        self,
+        specs: Iterable[RunSpec | dict],
+        sweep_id: str | None = None,
+        max_attempts: int | None = None,
+        poll_interval: float = 0.25,
+        timeout: float | None = None,
+    ) -> ResultSet:
+        """Run a sweep on the worker fleet; block until it drains.
+
+        Specs already in the service's experiment store never reach the
+        queue (zero re-replays on a warm resubmit); the rest are leased
+        out to whatever workers are polling ``/claim``. Pass an explicit
+        ``sweep_id`` to make the submission resumable — a crashed driver
+        re-running ``submit_sweep`` with the same id reuses every job
+        the fleet already finished.
+
+        Returns the rows in submission order (duplicate specs share a
+        row), byte-identical to a serial Runner run of the same batch.
+        Raises :class:`~repro.errors.SchedulerError` if any job ends
+        failed or cancelled, or the deadline passes.
+        """
+        spec_dicts = [
+            spec.to_dict() if isinstance(spec, RunSpec) else spec for spec in specs
+        ]
+        if not spec_dicts:
+            return ResultSet()
+        sweep_id = sweep_id or f"sweep-{uuid.uuid4().hex[:12]}"
+        self.submit_jobs(spec_dicts, sweep_id=sweep_id, max_attempts=max_attempts)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            progress = self.progress(sweep_id)
+            if progress["failed"] or progress["cancelled"]:
+                details = "; ".join(
+                    f"{job['id']} ({job['spec_key']}): {job['error']}"
+                    for job in progress.get("failed_jobs", [])
+                ) or f"{progress['cancelled']} job(s) cancelled"
+                raise SchedulerError(
+                    f"sweep {sweep_id} finished with {progress['failed']} failed "
+                    f"and {progress['cancelled']} cancelled job(s): {details}"
+                )
+            if progress["pending"] == 0:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                raise SchedulerError(
+                    f"sweep {sweep_id} timed out with {progress['pending']} "
+                    f"job(s) still pending (of {progress['total']})"
+                )
+            time.sleep(poll_interval)
+        # One batch fetch for the whole sweep: every key is in the store
+        # now, so the store-backed ``POST /runs`` serves the rows in
+        # submission order (duplicates sharing one row) without
+        # simulating anything — and without N per-key round trips.
+        fetched = self.submit(spec_dicts)
+        return ResultSet(PrefetchRunStats(**run) for run in fetched["runs"])

@@ -5,17 +5,29 @@ A thin, dependency-free (stdlib ``http.server``) JSON API that makes a
 without touching Python:
 
 ==========================  ===========================================
-``GET  /stats``             store + miss-stream-cache counters
+``GET  /stats``             store + miss-stream-cache + queue counters
 ``GET  /runs/<key>``        one stored run by ``RunSpec.key()``
 ``GET  /results?field=v``   stored rows filtered via ``ResultSet.filter``
+                            (paged with ``limit``/``offset``)
 ``POST /runs``              submit a RunSpec batch; cached specs are
                             served from the store, the rest simulated
                             and stored
+``POST /jobs``              enqueue a sweep for the worker fleet
+                            (store-known specs precompleted)
+``POST /claim``             lease queued jobs to a worker
+``POST /complete``          deliver a result row (idempotent) or a
+                            failure report (bounded retries)
+``POST /heartbeat``         extend a worker's leases
+``POST /cancel``            cancel a sweep's queued jobs
+``GET  /jobs/<id>``         one job's full record
+``GET  /progress``          state counts for a sweep (or the queue)
 ==========================  ===========================================
 
 Launch with ``repro-tlb serve --store DIR`` or programmatically via
 :func:`make_server`; :class:`~repro.service.client.ServiceClient` is a
-matching stdlib client for scripts and CI.
+matching stdlib client for scripts and CI, and
+:class:`~repro.sched.client.SchedulerClient` layers the job-queue
+protocol (plus ``submit_sweep``) on top of it.
 """
 
 from repro.service.client import ServiceClient, ServiceError

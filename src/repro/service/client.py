@@ -10,11 +10,19 @@ also convenient from a notebook::
     batch = client.submit([{"workload": "galgel", "mechanism": "DP",
                             "scale": 0.1, "params": {"rows": 256}}])
     print(client.results(workload="galgel")["count"])
+
+Transient transport failures (connection refused/reset mid-poll — the
+service restarting, a worker fleet hammering one socket) are retried
+with exponential backoff and jitter, but only for *idempotent*
+requests: every GET, plus POSTs the caller explicitly marks idempotent
+(the scheduler's ``/claim`` — a lost claim is recovered by lease
+expiry). The total retry count is surfaced as :attr:`ServiceClient.retries`.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.parse
@@ -39,39 +47,81 @@ class ServiceError(ReproError):
 
 
 class ServiceClient:
-    """Tiny JSON-over-HTTP client bound to one service base URL."""
+    """Tiny JSON-over-HTTP client bound to one service base URL.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    Args:
+        base_url: service address, e.g. ``http://127.0.0.1:8321``.
+        timeout: per-request socket timeout in seconds.
+        max_retries: transient-failure retries per idempotent request
+            (0 disables retrying).
+        retry_backoff: base delay in seconds; attempt ``n`` sleeps
+            ``retry_backoff * 2**n`` plus up to one extra
+            ``retry_backoff`` of jitter (decorrelates a worker fleet
+            retrying in lockstep).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        max_retries: int = 3,
+        retry_backoff: float = 0.1,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff = retry_backoff
+        #: Total transient-failure retries this client has performed.
+        self.retries = 0
 
     def request(
-        self, path: str, payload: dict | None = None, method: str | None = None
+        self,
+        path: str,
+        payload: dict | None = None,
+        method: str | None = None,
+        idempotent: bool | None = None,
     ) -> dict:
-        """One request; returns the decoded payload or raises ServiceError."""
+        """One request; returns the decoded payload or raises ServiceError.
+
+        ``idempotent`` controls transient-failure retrying; by default
+        only GETs qualify. An HTTP error status is never retried — the
+        server answered, retrying would not change its mind.
+        """
         data = json.dumps(payload).encode() if payload is not None else None
         method = method or ("POST" if data is not None else "GET")
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as exc:
-            body = exc.read()
+        if idempotent is None:
+            idempotent = method == "GET"
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                self.base_url + path,
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
             try:
-                decoded = json.loads(body)
-            except (json.JSONDecodeError, ValueError):
-                decoded = None
-            message = (decoded or {}).get("error", body.decode(errors="replace"))
-            raise ServiceError(
-                exc.code, decoded, f"{method} {path} -> {exc.code}: {message}"
-            ) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceError(0, None, f"service unreachable at {self.base_url}: {exc}") from exc
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read())
+            except urllib.error.HTTPError as exc:
+                body = exc.read()
+                try:
+                    decoded = json.loads(body)
+                except (json.JSONDecodeError, ValueError):
+                    decoded = None
+                message = (decoded or {}).get("error", body.decode(errors="replace"))
+                raise ServiceError(
+                    exc.code, decoded, f"{method} {path} -> {exc.code}: {message}"
+                ) from exc
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                if not idempotent or attempt >= self.max_retries:
+                    raise ServiceError(
+                        0, None, f"service unreachable at {self.base_url}: {exc}"
+                    ) from exc
+                delay = self.retry_backoff * (2 ** attempt)
+                delay += random.uniform(0.0, self.retry_backoff)
+                attempt += 1
+                self.retries += 1
+                time.sleep(delay)
 
     def wait_ready(self, timeout: float = 10.0, interval: float = 0.1) -> dict:
         """Poll ``GET /stats`` until the service answers (or time out)."""
@@ -92,9 +142,23 @@ class ServiceClient:
     def run(self, key: str) -> dict:
         return self.request(f"/runs/{key}")
 
-    def results(self, **filters: Any) -> dict:
-        query = urllib.parse.urlencode(filters)
-        return self.request("/results" + (f"?{query}" if query else ""))
+    def results(
+        self, limit: int | None = None, offset: int | None = None, **filters: Any
+    ) -> dict:
+        """``GET /results``: stored rows, filtered and (optionally) paged.
+
+        With ``limit``/``offset`` the envelope's ``runs`` hold one page,
+        ``count`` is the page size, and ``total`` is the full filtered
+        row count — large stores are walked page by page instead of
+        serialized into one response.
+        """
+        query = dict(filters)
+        if limit is not None:
+            query["limit"] = limit
+        if offset is not None:
+            query["offset"] = offset
+        encoded = urllib.parse.urlencode(query)
+        return self.request("/results" + (f"?{encoded}" if encoded else ""))
 
     def submit(self, specs: list[dict], workers: int = 0) -> dict:
         """``POST /runs``: execute (or fetch) a batch of spec dicts."""

@@ -10,19 +10,31 @@ Execution goes through a store-backed
 computed specs straight from the store and persists anything it had to
 simulate — submitting the same batch twice costs one simulation pass,
 total.
+
+The service also hosts the distributed sweep scheduler: a persistent
+:class:`~repro.sched.queue.JobQueue` (stored next to the experiment
+artifacts as ``<store>/jobs.sqlite``) behind ``POST /jobs`` / ``/claim``
+/ ``/complete`` / ``/heartbeat`` and ``GET /jobs/<id>`` /
+``/progress``. Submission probes the store so already-computed specs
+never enter the queue, claims re-probe it so a spec landed mid-sweep is
+never handed out twice, and completions write rows back through the
+store — content-addressed and deduplicated.
 """
 
 from __future__ import annotations
 
 import json
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
-from urllib.parse import parse_qsl, urlparse
+from urllib.parse import parse_qsl, unquote, urlparse
 
 from repro.errors import ReproError, StoreError
 from repro.run.results import ResultSet
 from repro.run.runner import MissStreamCache, Runner
 from repro.run.spec import RunSpec
+from repro.sched.queue import JobQueue
+from repro.sim.stats import PrefetchRunStats
 from repro.store import ExperimentStore
 
 #: Version stamp on every service response envelope.
@@ -48,14 +60,25 @@ class ExperimentService:
             serial store-backed runner with a private miss-stream cache
             (the service is long-lived — a private cache keeps its
             counters meaningful in ``GET /stats``).
+        queue: the scheduler's job queue; defaults to a persistent one
+            at ``<store root>/jobs.sqlite``, so a restarted server
+            resumes exactly where the fleet left off.
     """
 
-    def __init__(self, store: ExperimentStore, runner: Runner | None = None) -> None:
+    def __init__(
+        self,
+        store: ExperimentStore,
+        runner: Runner | None = None,
+        queue: JobQueue | None = None,
+    ) -> None:
         self.store = store
         self.runner = (
             runner
             if runner is not None
             else Runner(cache=MissStreamCache(), store=store)
+        )
+        self.queue = (
+            queue if queue is not None else JobQueue(store.root / "jobs.sqlite")
         )
 
     # -- dispatch ----------------------------------------------------------
@@ -74,10 +97,24 @@ class ExperimentService:
                 return self._get_stats()
             if method == "GET" and path == "/results":
                 return self._get_results(query)
+            if method == "GET" and path == "/progress":
+                return self._get_progress(query)
             if method == "GET" and path.startswith("/runs/"):
                 return self._get_run(path[len("/runs/"):])
+            if method == "GET" and path.startswith("/jobs/"):
+                return self._get_job(path[len("/jobs/"):])
             if method == "POST" and path == "/runs":
                 return self._post_runs(body if body is not None else {})
+            if method == "POST" and path == "/jobs":
+                return self._post_jobs(body if body is not None else {})
+            if method == "POST" and path == "/claim":
+                return self._post_claim(body if body is not None else {})
+            if method == "POST" and path == "/complete":
+                return self._post_complete(body if body is not None else {})
+            if method == "POST" and path == "/heartbeat":
+                return self._post_heartbeat(body if body is not None else {})
+            if method == "POST" and path == "/cancel":
+                return self._post_cancel(body if body is not None else {})
             return 404, self._envelope({"error": f"unknown route {method} {path}"})
         except StoreError as exc:
             # A corrupt artifact is a server-side problem, not a bad request.
@@ -104,6 +141,7 @@ class ExperimentService:
             {
                 "store": self.store.stats(),
                 "stream_cache": self.runner.cache.stats(),
+                "queue": self.queue.stats(),
             }
         )
 
@@ -118,16 +156,44 @@ class ExperimentService:
         )
 
     def _get_results(self, query: dict[str, str]) -> tuple[int, dict]:
+        query = dict(query)
+        page = {}
+        for name, default in (("limit", None), ("offset", 0)):
+            raw = query.pop(name, None)
+            if raw is None:
+                page[name] = default
+                continue
+            value = _coerce(raw)
+            if not isinstance(value, int) or value < 0:
+                return 400, self._envelope(
+                    {"error": f"'{name}' must be a non-negative integer, got {raw!r}"}
+                )
+            page[name] = value
         filters = {name: _coerce(value) for name, value in query.items()}
-        results = self.store.load_results()
         if filters:
+            # Filters need every row in memory; page *after* filtering
+            # so offset/limit walk the filtered set.
             try:
-                results = results.filter(**filters)
+                results = self.store.load_results().filter(**filters)
             except KeyError as exc:
                 return 400, self._envelope({"error": str(exc)})
+            total = len(results)
+            if page["offset"]:
+                results = results[page["offset"]:]
+            if page["limit"] is not None:
+                results = results[:page["limit"]]
+        else:
+            # Unfiltered pages go through the index's LIMIT/OFFSET: one
+            # page of artifact reads, however large the store is.
+            total = self.store.count_results()
+            results = self.store.load_results(
+                limit=page["limit"], offset=page["offset"]
+            )
         payload = json.loads(results.to_json())
         payload["count"] = len(results)
+        payload["total"] = total
         payload["filters"] = filters
+        payload.update(page)
         return 200, self._envelope(payload)
 
     def _post_runs(self, body: dict) -> tuple[int, dict]:
@@ -172,6 +238,211 @@ class ExperimentService:
             }
         )
         return 200, self._envelope(payload)
+
+    # -- scheduler routes --------------------------------------------------
+
+    @staticmethod
+    def _parse_specs(body: dict) -> list[RunSpec] | tuple[int, dict]:
+        raw_specs = body.get("specs")
+        if not isinstance(raw_specs, list):
+            return 400, {"error": "request body needs a 'specs' list of RunSpec objects"}
+        try:
+            return [RunSpec.from_dict(raw) for raw in raw_specs]
+        except (TypeError, ValueError) as exc:
+            return 400, {"error": str(exc)}
+
+    def _post_jobs(self, body: dict) -> tuple[int, dict]:
+        """Enqueue a sweep; store-known specs are precompleted on the spot."""
+        if not isinstance(body, dict):
+            return 400, self._envelope(
+                {"error": f"request body must be an object, got {type(body).__name__}"}
+            )
+        specs = self._parse_specs(body)
+        if not isinstance(specs, list):
+            status, payload = specs
+            return status, self._envelope(payload)
+        sweep_id = body.get("sweep_id") or f"sweep-{uuid.uuid4().hex[:12]}"
+        if not isinstance(sweep_id, str):
+            return 400, self._envelope(
+                {"error": f"'sweep_id' must be a string, got {sweep_id!r}"}
+            )
+        max_attempts = body.get("max_attempts")
+        if max_attempts is not None and (
+            not isinstance(max_attempts, int) or max_attempts < 1
+        ):
+            return 400, self._envelope(
+                {"error": f"'max_attempts' must be a positive integer, got {max_attempts!r}"}
+            )
+        keys = [spec.key() for spec in specs]
+        stored = {key for key in set(keys) if self.store.has_result(key)}
+        jobs = self.queue.submit(
+            sweep_id,
+            [(key, spec.to_dict()) for key, spec in zip(keys, specs)],
+            precompleted=stored,
+            max_attempts=max_attempts,
+        )
+        counts: dict[str, int] = {}
+        for job in jobs:
+            counts[job["state"]] = counts.get(job["state"], 0) + 1
+        return 200, self._envelope(
+            {
+                "sweep_id": sweep_id,
+                "total": len(jobs),
+                "queued": counts.get("queued", 0),
+                "precompleted": sum(
+                    job["state"] == "done" and job["result_source"] == "store"
+                    for job in jobs
+                ),
+                "states": counts,
+                "jobs": [
+                    {"id": job["id"], "spec_key": job["spec_key"], "state": job["state"]}
+                    for job in jobs
+                ],
+            }
+        )
+
+    def _post_claim(self, body: dict) -> tuple[int, dict]:
+        """Lease queued jobs to a worker, store-probing each handout."""
+        worker_id = body.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            return 400, self._envelope(
+                {"error": f"'worker_id' must be a non-empty string, got {worker_id!r}"}
+            )
+        limit = body.get("limit", 1)
+        if not isinstance(limit, int) or limit < 1:
+            return 400, self._envelope(
+                {"error": f"'limit' must be a positive integer, got {limit!r}"}
+            )
+        lease = body.get("lease_seconds")
+        if lease is not None and (
+            not isinstance(lease, (int, float)) or lease <= 0
+        ):
+            return 400, self._envelope(
+                {"error": f"'lease_seconds' must be > 0, got {lease!r}"}
+            )
+        handout: list[dict] = []
+        while len(handout) < limit:
+            batch = self.queue.claim(
+                worker_id, limit=limit - len(handout), lease_seconds=lease
+            )
+            if not batch:
+                break
+            for job in batch:
+                # Consult the store before handing a job out: a spec
+                # another worker (or another sweep) already landed is
+                # completed here, never replayed again.
+                if self.store.has_result(job["spec_key"]):
+                    self.queue.complete(job["id"], worker_id, source="store")
+                else:
+                    handout.append(
+                        {
+                            "id": job["id"],
+                            "sweep_id": job["sweep_id"],
+                            "spec_key": job["spec_key"],
+                            "spec": job["spec"],
+                            "attempts": job["attempts"],
+                            "max_attempts": job["max_attempts"],
+                            "lease_expires": job["lease_expires"],
+                        }
+                    )
+        return 200, self._envelope({"worker_id": worker_id, "jobs": handout})
+
+    def _post_complete(self, body: dict) -> tuple[int, dict]:
+        """Record a job outcome; result rows land in the store first."""
+        job_id = body.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            return 400, self._envelope(
+                {"error": f"'job_id' must be a non-empty string, got {job_id!r}"}
+            )
+        worker_id = body.get("worker_id")
+        job = self.queue.job(job_id)
+        if job is None:
+            return 404, self._envelope({"error": f"no job {job_id!r}"})
+        error = body.get("error")
+        if error is not None:
+            failed = self.queue.fail(job_id, worker_id, error=str(error))
+            return 200, self._envelope(
+                {"id": job_id, "state": failed["state"], "attempts": failed["attempts"]}
+            )
+        run = body.get("run")
+        if not isinstance(run, dict):
+            return 400, self._envelope(
+                {"error": "request body needs a 'run' result object (or an 'error')"}
+            )
+        try:
+            stats = PrefetchRunStats(**run)
+        except TypeError as exc:
+            return 400, self._envelope({"error": f"malformed result row: {exc}"})
+        if stats.extra.get("spec_key") != job["spec_key"]:
+            return 400, self._envelope(
+                {
+                    "error": (
+                        f"result row is for spec {stats.extra.get('spec_key')!r} "
+                        f"but job {job_id} holds spec {job['spec_key']!r}"
+                    )
+                }
+            )
+        # Content-addressed write-back: first completion stores the row,
+        # duplicates (late workers, client retries) find it present.
+        stored = False
+        if not self.store.has_result(job["spec_key"]):
+            self.store.put_result(RunSpec.from_dict(job["spec"]), stats)
+            stored = True
+        outcome = self.queue.complete(job_id, worker_id, source="worker")
+        return 200, self._envelope(
+            {
+                "id": job_id,
+                "state": outcome["state"],
+                "duplicate": outcome["duplicate"],
+                "stored": stored,
+            }
+        )
+
+    def _post_heartbeat(self, body: dict) -> tuple[int, dict]:
+        worker_id = body.get("worker_id")
+        if not isinstance(worker_id, str) or not worker_id:
+            return 400, self._envelope(
+                {"error": f"'worker_id' must be a non-empty string, got {worker_id!r}"}
+            )
+        job_ids = body.get("job_ids")
+        if not isinstance(job_ids, list) or not all(
+            isinstance(job_id, str) for job_id in job_ids
+        ):
+            return 400, self._envelope(
+                {"error": "'job_ids' must be a list of job id strings"}
+            )
+        lease = body.get("lease_seconds")
+        if lease is not None and (
+            not isinstance(lease, (int, float)) or lease <= 0
+        ):
+            return 400, self._envelope(
+                {"error": f"'lease_seconds' must be > 0, got {lease!r}"}
+            )
+        beat = self.queue.heartbeat(worker_id, job_ids, lease_seconds=lease)
+        return 200, self._envelope(beat)
+
+    def _post_cancel(self, body: dict) -> tuple[int, dict]:
+        sweep_id = body.get("sweep_id")
+        if not isinstance(sweep_id, str) or not sweep_id:
+            return 400, self._envelope(
+                {"error": f"'sweep_id' must be a non-empty string, got {sweep_id!r}"}
+            )
+        cancelled = self.queue.cancel(sweep_id)
+        return 200, self._envelope({"sweep_id": sweep_id, "cancelled": cancelled})
+
+    def _get_job(self, job_id: str) -> tuple[int, dict]:
+        if not job_id or "/" in job_id:
+            return 400, self._envelope({"error": f"malformed job id {job_id!r}"})
+        # Clients percent-encode the path segment (job ids embed the
+        # user-supplied sweep id); decode it before the lookup.
+        job_id = unquote(job_id)
+        job = self.queue.job(job_id)
+        if job is None:
+            return 404, self._envelope({"error": f"no job {job_id!r}"})
+        return 200, self._envelope({"job": job})
+
+    def _get_progress(self, query: dict[str, str]) -> tuple[int, dict]:
+        return 200, self._envelope(self.queue.progress(query.get("sweep_id")))
 
 
 class _RequestHandler(BaseHTTPRequestHandler):

@@ -387,18 +387,35 @@ class ExperimentStore:
             self.gc()
         return keys
 
-    def load_results(self) -> ResultSet:
-        """Every stored run as one :class:`ResultSet` (insertion order).
+    def count_results(self) -> int:
+        """Number of stored runs (index-only; backs pagination totals)."""
+        with self._lock:
+            (count,) = self._db.execute(
+                "SELECT COUNT(*) FROM entries WHERE kind=?", (_RESULT,)
+            ).fetchone()
+        return count
+
+    def load_results(
+        self, limit: int | None = None, offset: int = 0
+    ) -> ResultSet:
+        """Stored runs as one :class:`ResultSet` (insertion order).
 
         The bulk read behind ``GET /results``; does not touch the
-        hit/miss counters (those account keyed lookups).
+        hit/miss counters (those account keyed lookups). ``limit`` /
+        ``offset`` page at the *index* level, so reading one page costs
+        one page of artifact reads, not the whole store.
         """
+        query = (
+            "SELECT path FROM entries WHERE kind=? "
+            "ORDER BY created_at ASC, key ASC"
+        )
+        params: list = [_RESULT]
+        if limit is not None or offset:
+            # SQLite requires a LIMIT clause to use OFFSET; -1 = no limit.
+            query += " LIMIT ? OFFSET ?"
+            params += [-1 if limit is None else limit, offset]
         with self._lock:
-            rows = self._db.execute(
-                "SELECT path FROM entries WHERE kind=? "
-                "ORDER BY created_at ASC, key ASC",
-                (_RESULT,),
-            ).fetchall()
+            rows = self._db.execute(query, params).fetchall()
         # Read artifacts outside the index lock: a bulk read must not
         # stall concurrent keyed lookups. An artifact GC'd between the
         # snapshot and its read is simply skipped.

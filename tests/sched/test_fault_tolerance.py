@@ -1,0 +1,228 @@
+"""Scheduler fault tolerance: dead workers must not lose a sweep.
+
+Two failure injections:
+
+- an in-process :class:`Worker` with ``crash_after_claims`` — vanishes
+  holding its leases (the SIGKILL state machine, without a process);
+- a real ``repro-tlb worker`` subprocess killed with ``SIGKILL``
+  mid-job (``--slow`` makes "mid-job" deterministic).
+
+Either way the contract is the same: the lapsed lease requeues the
+spec, the surviving fleet finishes the sweep, and the ResultSet is
+byte-identical to serial execution.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.run import MissStreamCache, Runner, RunSpec
+from repro.sched import SchedulerClient, Worker
+from repro.service import make_server
+
+SCALE = 0.05
+LEASE = 1.0
+
+
+def sweep_specs(count=4):
+    mechanisms = ("DP", "RP", "ASP", "MP")
+    return [
+        RunSpec.of("galgel", mechanisms[i % len(mechanisms)], scale=SCALE, rows=64)
+        for i in range(count)
+    ]
+
+
+@pytest.fixture
+def server(tmp_path):
+    server = make_server(tmp_path / "store", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+@pytest.fixture
+def client(server):
+    client = SchedulerClient(server.url)
+    client.wait_ready()
+    return client
+
+
+class TestCrashedWorker:
+    def test_lease_expiry_requeues_a_vanished_workers_spec(self, server, client):
+        specs = sweep_specs(3)
+        serial = Runner(cache=MissStreamCache()).run(specs)
+
+        # The casualty claims one job and vanishes without completing
+        # it or heartbeating again — exactly a SIGKILL'd process.
+        casualty = Worker(
+            server.url, lease_seconds=LEASE, poll_interval=0.02, batch=1,
+            crash_after_claims=1,
+        )
+        survivor = Worker(server.url, lease_seconds=LEASE, poll_interval=0.02)
+        threads = [
+            threading.Thread(target=worker.run, daemon=True)
+            for worker in (casualty, survivor)
+        ]
+        # Deterministic ordering: queue the jobs, let the casualty claim
+        # one and vanish, and only then let the survivor at the queue.
+        batch = client.submit_jobs([spec.to_dict() for spec in specs])
+        threads[0].start()
+        started = time.monotonic()
+        deadline = started + 30
+        while not casualty.crashed:
+            assert time.monotonic() < deadline, "casualty never claimed a job"
+            time.sleep(0.01)
+        results = None
+        try:
+            threads[1].start()
+            results = client.submit_sweep(
+                specs, sweep_id=batch["sweep_id"], poll_interval=0.02, timeout=60
+            )
+        finally:
+            survivor.stop()
+            for thread in threads:
+                thread.join(timeout=10)
+
+        assert casualty.crashed and casualty.claimed == 1
+        assert casualty.completed == 0
+        assert results.to_json() == serial.to_json()
+        # The sweep had to outlive the lapsed lease, and the lapse is
+        # visible in the queue counters.
+        assert time.monotonic() - started >= LEASE
+        counters = client.stats()["queue"]["counters"]
+        assert counters["leases_requeued"] >= 1
+        assert client.progress()["done"] == len(specs)
+
+    def test_sigkilled_worker_subprocess_does_not_lose_the_sweep(
+        self, server, client
+    ):
+        specs = sweep_specs(4)
+        serial = Runner(cache=MissStreamCache()).run(specs)
+
+        # Real process, real kill. --slow pins it inside a job so the
+        # SIGKILL deterministically lands mid-lease.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+        casualty = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "worker",
+                "--url", server.url, "--lease", str(LEASE), "--poll", "0.02",
+                "--batch", "2", "--slow", "300",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        survivor = Worker(server.url, lease_seconds=LEASE, poll_interval=0.02)
+        survivor_thread = threading.Thread(target=survivor.run, daemon=True)
+        results = None
+        try:
+            # Wait until the subprocess holds at least one lease.
+            deadline = time.monotonic() + 60
+            batch = client.submit_jobs([spec.to_dict() for spec in specs])
+            while client.progress(batch["sweep_id"])["running"] == 0:
+                assert time.monotonic() < deadline, "worker never claimed a job"
+                assert casualty.poll() is None, "worker died before the kill"
+                time.sleep(0.02)
+            casualty.send_signal(signal.SIGKILL)
+            casualty.wait(timeout=30)
+
+            survivor_thread.start()
+            results = client.submit_sweep(
+                specs, sweep_id=batch["sweep_id"], poll_interval=0.02, timeout=120
+            )
+        finally:
+            if casualty.poll() is None:
+                casualty.kill()
+                casualty.wait(timeout=30)
+            survivor.stop()
+            if survivor_thread.is_alive():
+                survivor_thread.join(timeout=10)
+
+        assert results.to_json() == serial.to_json()
+        progress = client.progress(batch["sweep_id"])
+        assert progress["done"] == len(specs)
+        assert progress["failed"] == 0
+        assert client.stats()["queue"]["counters"]["leases_requeued"] >= 1
+
+
+class TestSlowReplays:
+    def test_heartbeats_cover_the_whole_claimed_batch(self, server, client):
+        """Jobs waiting behind a slow replay must not lose their leases.
+
+        One worker claims both jobs at once and takes longer than a
+        lease to replay each; the heartbeat thread must keep the
+        *waiting* job alive too, or its budget burns down while the
+        worker is perfectly healthy.
+        """
+        specs = sweep_specs(2)
+        worker = Worker(
+            server.url, lease_seconds=0.6, poll_interval=0.02, batch=2,
+            slow_seconds=0.8,
+        )
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        try:
+            results = client.submit_sweep(specs, poll_interval=0.02, timeout=60)
+        finally:
+            worker.stop()
+            thread.join(timeout=10)
+        serial = Runner(cache=MissStreamCache()).run(specs)
+        assert results.to_json() == serial.to_json()
+        counters = client.stats()["queue"]["counters"]
+        assert counters.get("leases_requeued", 0) == 0
+        assert counters["claims"] == len(specs)  # nothing was reclaimed
+
+
+class TestWarmResume:
+    def test_crashed_sweep_resumed_by_submit_sweep_replays_nothing_stored(
+        self, server, client
+    ):
+        specs = sweep_specs(4)
+        sweep_id = "resumable"
+        # First driver: the fleet lands half the sweep, then everything
+        # stops (driver crash simulated by just... not polling).
+        half = Worker(server.url, lease_seconds=LEASE, poll_interval=0.02,
+                      batch=1, max_jobs=2)
+        client.submit_jobs([spec.to_dict() for spec in specs], sweep_id=sweep_id)
+        half.run()  # processes exactly 2 jobs, then returns
+        assert client.progress(sweep_id)["done"] == 2
+
+        before = client.stats()
+        # Second driver resumes the same sweep with a fresh fleet.
+        survivor = Worker(server.url, lease_seconds=LEASE, poll_interval=0.02)
+        thread = threading.Thread(target=survivor.run, daemon=True)
+        thread.start()
+        try:
+            results = client.submit_sweep(
+                specs, sweep_id=sweep_id, poll_interval=0.02, timeout=60
+            )
+        finally:
+            survivor.stop()
+            thread.join(timeout=10)
+        after = client.stats()
+
+        serial = Runner(cache=MissStreamCache()).run(specs)
+        assert results.to_json() == serial.to_json()
+        # Zero re-replays of the stored half: the two done jobs were
+        # reused verbatim (no new claims for them, no store misses) and
+        # only the two unfinished specs were executed.
+        assert (
+            after["queue"]["counters"]["claims"]
+            - before["queue"]["counters"]["claims"]
+            == 2
+        )
+        assert after["store"]["result_entries"] == len(specs)
+        assert client.progress(sweep_id)["done"] == len(specs)
