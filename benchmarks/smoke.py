@@ -100,6 +100,89 @@ def distributed_phase(
     }
 
 
+def streaming_phase(runner: Runner, spec: RunSpec, repeats: int) -> dict:
+    """Time the checkpoint/streaming path on one representative spec.
+
+    ``warm_start_speedup`` compares replaying the whole miss stream
+    from scratch against resuming from a mid-stream checkpoint (the
+    suspend/resume currency of ``Runner(checkpoint_every=)`` and the
+    service's idle-session eviction).  ``stream_entries_per_second``
+    drives the real ``/streams`` API in 8 chunks — checkpointing after
+    every advance — and must finish byte-identical to a one-shot
+    ``POST /runs`` of the same spec.
+    """
+    from repro.ckpt import ReplaySession, SessionSnapshot
+    from repro.service.server import ExperimentService
+
+    stream = runner.miss_stream_for(spec)
+
+    # Cold: the whole stream in one session, fastest of N.
+    cold_elapsed = float("inf")
+    for _ in range(max(1, repeats)):
+        session = ReplaySession(stream, spec.build_prefetcher())
+        started = time.perf_counter()
+        session.advance(None)
+        cold_elapsed = min(cold_elapsed, time.perf_counter() - started)
+    one_shot_stats = session.stats()
+
+    # Warm: checkpoint halfway (through the wire format), then time
+    # only the resumed second half.
+    half_session = ReplaySession(stream, spec.build_prefetcher())
+    half_session.advance(half_session.total // 2)
+    snapshot_bytes = half_session.snapshot().to_bytes()
+    warm_elapsed = float("inf")
+    for _ in range(max(1, repeats)):
+        resumed = ReplaySession.resume(
+            SessionSnapshot.from_bytes(snapshot_bytes),
+            stream,
+            spec.build_prefetcher(),
+        )
+        started = time.perf_counter()
+        resumed.advance(None)
+        warm_elapsed = min(warm_elapsed, time.perf_counter() - started)
+    identical = resumed.stats() == one_shot_stats
+
+    # Chunked through the real service API (checkpoint every advance),
+    # in the same 8-chunk shape the streaming-smoke CI job uses.
+    with tempfile.TemporaryDirectory(prefix="repro-stream-smoke-") as root:
+        service = ExperimentService(
+            ExperimentStore(Path(root) / "store"), runner=runner
+        )
+        status, one_shot_row = service.handle(
+            "POST", "/runs", body={"specs": [spec.to_dict()]}
+        )
+        assert status == 200, one_shot_row
+        _, opened = service.handle(
+            "POST", "/streams", body={"spec": spec.to_dict(), "session_id": "smoke"}
+        )
+        chunk = opened["total"] // 8 + 1
+        started = time.perf_counter()
+        while True:
+            _, step = service.handle(
+                "POST", "/streams/smoke/advance", body={"count": chunk}
+            )
+            if step["finished"]:
+                break
+        stream_elapsed = time.perf_counter() - started
+        identical = identical and json.dumps(
+            step["stats"], sort_keys=True
+        ) == json.dumps(one_shot_row["runs"][0], sort_keys=True)
+
+    return {
+        "stream_entries": opened["total"],
+        "stream_chunk_entries": chunk,
+        "stream_entries_per_second": round(opened["total"] / stream_elapsed, 1)
+        if stream_elapsed
+        else 0.0,
+        "warm_start_cold_seconds": round(cold_elapsed, 4),
+        "warm_start_resumed_seconds": round(warm_elapsed, 4),
+        "warm_start_speedup": round(cold_elapsed / warm_elapsed, 2)
+        if warm_elapsed
+        else 0.0,
+        "streaming_identical": identical,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_smoke.json", help="output JSON path")
@@ -215,6 +298,14 @@ def main(argv: list[str] | None = None) -> int:
         (store_cold_elapsed - elapsed) / elapsed if elapsed else 0.0
     )
 
+    # Streaming/checkpoint phase: one representative spec resumed from
+    # a mid-stream checkpoint and chunked through the /streams API.
+    streaming = streaming_phase(
+        runner,
+        RunSpec.of("galgel", "DP", scale=args.scale, rows=256),
+        args.repeats,
+    )
+
     # Distributed phase: the same batch through the scheduler + a real
     # worker fleet, recording end-to-end throughput and worker scaling.
     distributed: dict = {
@@ -259,6 +350,7 @@ def main(argv: list[str] | None = None) -> int:
         "store_warm_all_hits": store_warm_all_hits,
         "store_identical": store_identical,
         "store_bytes": store_bytes,
+        **streaming,
         **distributed,
         "mean_dp256_accuracy": round(
             sum(run.prediction_accuracy for run in dp_repr) / len(dp_repr), 4
@@ -286,6 +378,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{store_warm_elapsed:.2f}s, {store_warm_speedup:.0f}x, "
         f"all-hits={store_warm_all_hits} bit-identical={store_identical}"
     )
+    print(
+        f"[smoke] streaming: resume-from-checkpoint "
+        f"{streaming['warm_start_resumed_seconds']:.2f}s vs cold "
+        f"{streaming['warm_start_cold_seconds']:.2f}s -> "
+        f"{streaming['warm_start_speedup']}x warm-start speedup; "
+        f"{streaming['stream_entries_per_second']} entries/s chunked "
+        f"through /streams, bit-identical={streaming['streaming_identical']}"
+    )
     if distributed["distributed_workers"]:
         print(
             f"[smoke] distributed: {distributed['distributed_workers']} workers "
@@ -309,6 +409,11 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not store_warm_all_hits:
         print("[smoke] ERROR: warm store pass replayed specs (store miss)")
+        return 1
+    if not streaming["streaming_identical"]:
+        print(
+            "[smoke] ERROR: streamed/resumed replay diverged from one-shot"
+        )
         return 1
     return 0
 

@@ -81,6 +81,8 @@ class ExperimentContext:
             ``runner``.
         service_url: ``repro-tlb serve`` address for the distributed
             executor.
+        request_timeout: per-HTTP-request socket timeout (seconds) for
+            the distributed executor's service client.
     """
 
     def __init__(
@@ -93,6 +95,7 @@ class ExperimentContext:
         store=None,
         executor: str = "auto",
         service_url: str | None = None,
+        request_timeout: float = 30.0,
     ) -> None:
         if runner is not None and (
             store is not None or service_url is not None or executor != "auto"
@@ -111,6 +114,7 @@ class ExperimentContext:
                 store=store,
                 executor=executor,
                 service_url=service_url,
+                request_timeout=request_timeout,
             )
         )
         self.engine = engine

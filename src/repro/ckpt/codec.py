@@ -1,0 +1,226 @@
+"""Deterministic binary codec for ``repro.ckpt/v1`` snapshot blobs.
+
+Every snapshot serializes through one recursive value encoder with a
+fixed, documented byte layout, so that *identical logical state always
+produces identical bytes* — the property the content-addressed
+checkpoint store and the ``(spec_key, stream_offset, state_digest)``
+continuation keys both depend on.
+
+Blob layout::
+
+    magic     b"RCKP"                 (4 bytes)
+    schema    str                     ("repro.ckpt/v1")
+    kind      str                     (snapshot registry kind)
+    body      length-prefixed bytes   (encoded payload value)
+    digest    8 bytes                 (sha256(magic..body) prefix)
+
+Value encoding is a single-byte tag followed by the payload:
+
+==== ======================================================
+tag  payload
+==== ======================================================
+``N``  None — no payload
+``F``  False / ``T``  True — no payload
+``i``  zigzag varint integer (arbitrary precision)
+``d``  IEEE-754 double, big-endian (8 bytes)
+``s``  varint byte length + UTF-8 bytes
+``b``  varint byte length + raw bytes
+``l``  varint element count + encoded elements
+``m``  varint pair count + encoded key/value pairs, in
+       insertion order (callers must present canonical order)
+==== ======================================================
+
+Varints are LEB128 (7 bits per byte, little-endian groups); signed
+integers are zigzag-mapped first so small negatives stay small. There
+is no float-vs-int ambiguity: the tag is part of the value, so ``1``
+and ``1.0`` encode differently and round-trip exactly.
+
+Any structural problem — bad magic, unknown schema, truncation, a
+digest mismatch, or trailing garbage after the blob — raises
+:class:`~repro.errors.CkptError` naming the failing stage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from ..errors import CkptError
+
+#: Schema tag embedded in (and demanded from) every blob.
+CKPT_SCHEMA = "repro.ckpt/v1"
+
+_MAGIC = b"RCKP"
+_DIGEST_BYTES = 8
+
+_Value = None | bool | int | float | str | bytes | list | dict
+
+
+def _encode_varint(value: int, out: bytearray) -> None:
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _encode_value(value: _Value, out: bytearray) -> None:
+    # bool before int: bool is an int subclass.
+    if value is None:
+        out.append(ord("N"))
+    elif value is True:
+        out.append(ord("T"))
+    elif value is False:
+        out.append(ord("F"))
+    elif isinstance(value, int):
+        out.append(ord("i"))
+        # Arbitrary-precision zigzag: packed DP-PC keys exceed 64 bits.
+        zigzag = (value << 1) if value >= 0 else ((-value << 1) - 1)
+        _encode_varint(zigzag, out)
+    elif isinstance(value, float):
+        out.append(ord("d"))
+        out += struct.pack(">d", value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(ord("s"))
+        _encode_varint(len(raw), out)
+        out += raw
+    elif isinstance(value, bytes):
+        out.append(ord("b"))
+        _encode_varint(len(value), out)
+        out += value
+    elif isinstance(value, (list, tuple)):
+        out.append(ord("l"))
+        _encode_varint(len(value), out)
+        for item in value:
+            _encode_value(item, out)
+    elif isinstance(value, dict):
+        out.append(ord("m"))
+        _encode_varint(len(value), out)
+        for key, item in value.items():
+            _encode_value(key, out)
+            _encode_value(item, out)
+    else:
+        raise CkptError(f"cannot encode value of type {type(value).__name__}")
+
+
+class _Reader:
+    """Cursor over a blob body; every read checks for truncation."""
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self.data = data
+        self.offset = offset
+
+    def take(self, count: int) -> bytes:
+        end = self.offset + count
+        if end > len(self.data):
+            raise CkptError(
+                f"truncated blob: wanted {count} bytes at offset "
+                f"{self.offset}, only {len(self.data) - self.offset} left"
+            )
+        chunk = self.data[self.offset : end]
+        self.offset = end
+        return chunk
+
+    def varint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            byte = self.take(1)[0]
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 640:
+                raise CkptError("corrupt blob: varint longer than 640 bits")
+
+    def value(self) -> _Value:
+        tag = self.take(1)
+        if tag == b"N":
+            return None
+        if tag == b"T":
+            return True
+        if tag == b"F":
+            return False
+        if tag == b"i":
+            zigzag = self.varint()
+            return (zigzag >> 1) ^ -(zigzag & 1)
+        if tag == b"d":
+            return struct.unpack(">d", self.take(8))[0]
+        if tag == b"s":
+            raw = self.take(self.varint())
+            try:
+                return raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise CkptError(f"corrupt blob: bad UTF-8 string: {error}") from error
+        if tag == b"b":
+            return self.take(self.varint())
+        if tag == b"l":
+            return [self.value() for _ in range(self.varint())]
+        if tag == b"m":
+            pairs = self.varint()
+            result: dict = {}
+            for _ in range(pairs):
+                key = self.value()
+                result[key] = self.value()
+            return result
+        raise CkptError(f"corrupt blob: unknown value tag {tag!r}")
+
+
+def encode_blob(kind: str, payload: _Value) -> bytes:
+    """Serialize ``payload`` as a self-describing ``repro.ckpt/v1`` blob."""
+    out = bytearray(_MAGIC)
+    _encode_value(CKPT_SCHEMA, out)
+    _encode_value(kind, out)
+    body = bytearray()
+    _encode_value(payload, body)
+    _encode_varint(len(body), out)
+    out += body
+    out += hashlib.sha256(bytes(out)).digest()[:_DIGEST_BYTES]
+    return bytes(out)
+
+
+def decode_blob(blob: bytes, expect_kind: str | None = None) -> tuple[str, _Value]:
+    """Parse a blob back into ``(kind, payload)``, verifying integrity.
+
+    Checks, in order: magic bytes, schema tag, body length, the sha256
+    digest trailer, and that nothing follows the trailer. Passing
+    ``expect_kind`` additionally demands the embedded kind match.
+    """
+    reader = _Reader(blob)
+    if reader.take(4) != _MAGIC:
+        raise CkptError("bad magic: not a repro.ckpt blob")
+    schema = reader.value()
+    if schema != CKPT_SCHEMA:
+        raise CkptError(f"unsupported checkpoint schema {schema!r} (want {CKPT_SCHEMA!r})")
+    kind = reader.value()
+    if not isinstance(kind, str):
+        raise CkptError("corrupt blob: kind is not a string")
+    body_len = reader.varint()
+    body_start = reader.offset
+    body = reader.take(body_len)
+    digest_start = reader.offset
+    trailer = reader.take(_DIGEST_BYTES)
+    expected = hashlib.sha256(blob[:digest_start]).digest()[:_DIGEST_BYTES]
+    if trailer != expected:
+        raise CkptError("corrupt blob: digest mismatch (bytes were altered)")
+    if reader.offset != len(blob):
+        raise CkptError(
+            f"corrupt blob: {len(blob) - reader.offset} trailing bytes after digest"
+        )
+    payload_reader = _Reader(blob, body_start)
+    payload = payload_reader.value()
+    if payload_reader.offset != digest_start:
+        raise CkptError("corrupt blob: body length does not match payload")
+    if expect_kind is not None and kind != expect_kind:
+        raise CkptError(f"kind mismatch: blob holds {kind!r}, expected {expect_kind!r}")
+    return kind, payload
+
+
+def blob_digest(blob: bytes) -> str:
+    """Content digest of a blob — the checkpoint store's address.
+
+    sha256 over the full blob, truncated to 24 hex characters to match
+    the store's stream-digest convention. Identical logical state
+    encodes to identical bytes, so equal digests ⇔ equal state.
+    """
+    return hashlib.sha256(blob).hexdigest()[:24]

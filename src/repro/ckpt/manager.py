@@ -1,0 +1,163 @@
+"""Checkpoint persistence: content-addressed snapshots in the store.
+
+:class:`CheckpointManager` wraps an
+:class:`~repro.store.ExperimentStore` with three small facilities:
+
+- **Snapshot blobs**, stored content-addressed: the key *is* the blob
+  digest, so identical state is stored once (``ckpt/<digest>.bin``),
+  loads verify the address against the content, and the store's LRU GC
+  and pinning apply unchanged.
+- **Continuation records** — one JSON record per spec key holding the
+  resumable triple ``(spec_key, stream_offset, state_digest)`` — the
+  bookmark :class:`~repro.run.runner.Runner` leaves between chunks of
+  a ``checkpoint_every`` run and clears on completion.
+- **Session records** — the same shape plus the opening spec, keyed by
+  streaming-session id, so the service can restore an evicted (or
+  restarted-away) session on its next touch.
+
+Records point at snapshot blobs by digest rather than embedding them,
+so N bookmarks over the same state cost one blob.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import AbstractContextManager
+from typing import TYPE_CHECKING
+
+from ..errors import CkptError
+from .codec import blob_digest
+from .snapshots import StateSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (store -> run -> sim)
+    from ..store.store import ExperimentStore
+
+_CONTINUATION_PREFIX = "cont:"
+_SESSION_PREFIX = "sess:"
+
+
+class CheckpointManager:
+    """Store-backed persistence for snapshots and resume bookmarks."""
+
+    def __init__(self, store: "ExperimentStore") -> None:
+        self.store = store
+
+    # -- content-addressed snapshot blobs ----------------------------------
+
+    def save(self, snapshot: StateSnapshot) -> str:
+        """Persist a snapshot; returns its content digest (the key)."""
+        blob = snapshot.to_bytes()
+        digest = blob_digest(blob)
+        self.store.put_ckpt(digest, blob)
+        return digest
+
+    def load(self, digest: str) -> StateSnapshot | None:
+        """Snapshot stored under ``digest``, or ``None`` if absent/GC'd.
+
+        Verifies the content actually hashes to its address (on top of
+        the blob's own integrity trailer), so a corrupted or misfiled
+        artifact raises :class:`~repro.errors.CkptError` instead of
+        silently resuming from the wrong state.
+        """
+        blob = self.store.get_ckpt(digest)
+        if blob is None:
+            return None
+        if blob_digest(blob) != digest:
+            raise CkptError(
+                f"checkpoint {digest} failed content verification: stored "
+                f"bytes hash to {blob_digest(blob)}"
+            )
+        return StateSnapshot.from_bytes(blob)
+
+    def pinned(self, digest: str) -> AbstractContextManager[None]:
+        """Pin one snapshot blob against GC for the duration of a read."""
+        return self.store.pinned(digest, kind="ckpt")
+
+    # -- JSON records (continuations, sessions) ----------------------------
+
+    def _put_record(self, key: str, record: dict) -> None:
+        self.store.put_ckpt(
+            key, (json.dumps(record, sort_keys=True) + "\n").encode()
+        )
+
+    def _get_record(self, key: str) -> dict | None:
+        blob = self.store.get_ckpt(key)
+        if blob is None:
+            return None
+        try:
+            record = json.loads(blob)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise CkptError(f"corrupt checkpoint record {key!r}: {error}") from error
+        if not isinstance(record, dict):
+            raise CkptError(f"corrupt checkpoint record {key!r}: not an object")
+        return record
+
+    # -- continuations ------------------------------------------------------
+
+    def save_continuation(
+        self, spec_key: str, offset: int, snapshot: StateSnapshot
+    ) -> dict:
+        """Bookmark a partially-replayed spec; returns the record.
+
+        The snapshot blob is stored first (content-addressed), then the
+        record pointing at it — so a crash between the two writes
+        leaves at worst an orphan blob, never a dangling bookmark.
+        """
+        record = {
+            "spec_key": spec_key,
+            "stream_offset": offset,
+            "state_digest": self.save(snapshot),
+        }
+        self._put_record(_CONTINUATION_PREFIX + spec_key, record)
+        return record
+
+    def load_continuation(
+        self, spec_key: str
+    ) -> tuple[dict, StateSnapshot] | None:
+        """The bookmark and its snapshot for ``spec_key``, if resumable.
+
+        Returns ``None`` when there is no bookmark *or* its snapshot
+        blob has been garbage-collected (the run simply restarts from
+        the beginning — losing a bookmark is never an error).
+        """
+        record = self._get_record(_CONTINUATION_PREFIX + spec_key)
+        if record is None:
+            return None
+        digest = record.get("state_digest")
+        if not isinstance(digest, str):
+            raise CkptError(
+                f"corrupt continuation for {spec_key!r}: no state digest"
+            )
+        snapshot = self.load(digest)
+        if snapshot is None:
+            return None
+        return record, snapshot
+
+    def clear_continuation(self, spec_key: str) -> bool:
+        """Drop a completed spec's bookmark; True if one existed.
+
+        The snapshot blob itself is left to LRU GC — another bookmark
+        may share it.
+        """
+        return self.store.delete_ckpt(_CONTINUATION_PREFIX + spec_key)
+
+    # -- streaming sessions -------------------------------------------------
+
+    def save_session(self, session_id: str, record: dict) -> None:
+        """Persist a streaming session's descriptor record."""
+        self._put_record(_SESSION_PREFIX + session_id, record)
+
+    def load_session(self, session_id: str) -> dict | None:
+        """A streaming session's descriptor record, or ``None``."""
+        return self._get_record(_SESSION_PREFIX + session_id)
+
+    def delete_session(self, session_id: str) -> bool:
+        """Drop a closed session's record; True if one existed."""
+        return self.store.delete_ckpt(_SESSION_PREFIX + session_id)
+
+    def session_ids(self) -> list[str]:
+        """All persisted streaming-session ids, sorted."""
+        prefix_len = len(_SESSION_PREFIX)
+        return [
+            key[prefix_len:] for key in self.store.ckpt_keys(_SESSION_PREFIX)
+        ]

@@ -46,6 +46,7 @@ from collections.abc import Sequence
 
 from repro.analysis.experiments import ExperimentContext
 from repro.analysis.tables import compare_table2, compare_table3
+from repro.errors import ReproError
 from repro.mem.trace_io import load_reference_trace, save_reference_trace
 from repro.prefetch.factory import PREFETCHER_NAMES, create_prefetcher
 from repro.run import ResultSet, Runner, RunSpec
@@ -84,6 +85,19 @@ def _add_store(parser: argparse.ArgumentParser, required: bool = False) -> None:
     )
 
 
+def _add_request_timeout(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "per-HTTP-request socket timeout in seconds for service "
+            "requests (default 30); a hung service fails fast instead "
+            "of blocking forever"
+        ),
+    )
+
+
 def _add_service_url(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--service-url",
@@ -93,12 +107,14 @@ def _add_service_url(parser: argparse.ArgumentParser) -> None:
             "service's worker fleet instead of locally"
         ),
     )
+    _add_request_timeout(parser)
 
 
 def _add_url(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--url", required=True, help="scheduler service address (repro-tlb serve)"
     )
+    _add_request_timeout(parser)
 
 
 def _add_engine(parser: argparse.ArgumentParser) -> None:
@@ -498,6 +514,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         worker_id=args.worker_id,
         crash_after_claims=args.crash_after_claims,
         slow_seconds=args.slow_seconds,
+        request_timeout=args.request_timeout,
     )
 
 
@@ -527,7 +544,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             for app in args.apps
             for mechanism in mechanisms
         ]
-    client = SchedulerClient(args.url)
+    client = SchedulerClient(args.url, timeout=args.request_timeout)
     if args.wait:
         results = client.submit_sweep(
             specs, sweep_id=args.sweep_id, max_attempts=args.max_attempts
@@ -552,7 +569,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 def _cmd_jobs(args: argparse.Namespace) -> int:
     from repro.sched import SchedulerClient
 
-    client = SchedulerClient(args.url)
+    client = SchedulerClient(args.url, timeout=args.request_timeout)
     if args.jobs_command == "status":
         progress = client.progress(getattr(args, "sweep", None))
         scope = progress["sweep_id"] or "all sweeps"
@@ -569,9 +586,22 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    """CLI entry point; returns a process exit code.
 
+    Library validation errors (unknown engine names in a specs file,
+    bad knob values, unreachable services, ...) are reported as one
+    ``error:`` line on stderr instead of a traceback from deep inside
+    dispatch.
+    """
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list-apps":
         return _cmd_list_apps()
     if args.command == "run":
@@ -604,6 +634,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         engine=getattr(args, "engine", "auto"),
         store=getattr(args, "store", None),
         service_url=getattr(args, "service_url", None),
+        request_timeout=getattr(args, "request_timeout", 30.0),
     )
     if args.command == "table2":
         print(compare_table2(context.run_table2()))

@@ -55,6 +55,18 @@ class StoreError(ReproError):
     """
 
 
+class CkptError(ReproError):
+    """A checkpoint blob is unusable or a snapshot cannot be applied.
+
+    Raised for malformed ``repro.ckpt/v1`` blobs (bad magic, schema
+    mismatch, truncation, digest corruption, trailing garbage) and for
+    restore-time shape mismatches (e.g. applying a 256-row table
+    snapshot to a 64-row mechanism). The message names the failing
+    stage so a corrupt artifact can be deleted and rebuilt rather than
+    chasing a bare ``struct.error``.
+    """
+
+
 class SchedulerError(ReproError):
     """The distributed sweep scheduler cannot proceed.
 

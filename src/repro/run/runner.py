@@ -159,6 +159,11 @@ def _replay(spec: RunSpec, miss_trace: MissTrace) -> PrefetchRunStats:
         max_prefetches_per_miss=spec.max_prefetches_per_miss,
         engine=spec.engine,
     )
+    return annotate_stats(stats, spec)
+
+
+def annotate_stats(stats: PrefetchRunStats, spec: RunSpec) -> PrefetchRunStats:
+    """Stamp a row with its identity coordinates (shared by all paths)."""
     stats.extra["spec_key"] = spec.key()
     stats.extra["mechanism_name"] = spec.mechanism.name
     stats.extra["scale"] = spec.scale
@@ -206,6 +211,17 @@ class Runner:
         service_url: address of a ``repro-tlb serve`` instance for the
             distributed executor; giving one with ``executor="auto"``
             selects distributed execution.
+        request_timeout: per-HTTP-request socket timeout in seconds for
+            the distributed executor's service client (not the sweep
+            deadline — a hung socket fails fast instead of masking the
+            outage as an endless poll).
+        checkpoint_every: when > 0, in-process replays run through a
+            suspendable :class:`~repro.ckpt.ReplaySession`, leaving a
+            resume bookmark in the store every N miss entries. A run
+            killed mid-stream resumes from its last checkpoint on the
+            next attempt (continuations are keyed by ``spec.key()``),
+            and the completed row is byte-identical to an
+            uninterrupted one. Requires ``store``.
     """
 
     EXECUTORS = ("auto", "serial", "pool", "distributed")
@@ -217,6 +233,8 @@ class Runner:
         store: "ExperimentStore | str | Path | None" = None,
         executor: str = "auto",
         service_url: str | None = None,
+        checkpoint_every: int = 0,
+        request_timeout: float = 30.0,
     ) -> None:
         from repro.errors import ConfigurationError
 
@@ -225,6 +243,12 @@ class Runner:
         if store is not None and not isinstance(store, ExperimentStore):
             store = ExperimentStore(store)
         self.store = store
+        self.checkpoint_every = max(0, int(checkpoint_every or 0))
+        if self.checkpoint_every and store is None:
+            raise ConfigurationError(
+                "checkpoint_every needs a store to keep its resume "
+                "bookmarks in; pass store="
+            )
         if executor not in self.EXECUTORS:
             raise ConfigurationError(
                 f"unknown executor {executor!r}; expected one of {self.EXECUTORS}"
@@ -238,12 +262,15 @@ class Runner:
             )
         self.executor = executor
         self.service_url = service_url
+        self.request_timeout = request_timeout
         self._distributed = None
         if executor == "distributed":
             # Local import: repro.sched builds on this module.
             from repro.sched.executor import DistributedExecutor
 
-            self._distributed = DistributedExecutor(service_url)
+            self._distributed = DistributedExecutor(
+                service_url, request_timeout=request_timeout
+            )
 
     # -- miss streams ------------------------------------------------------
 
@@ -322,8 +349,47 @@ class Runner:
     # -- execution ---------------------------------------------------------
 
     def run_one(self, spec: RunSpec) -> PrefetchRunStats:
-        """Execute a single spec (always in-process)."""
+        """Execute a single spec (always in-process).
+
+        With :attr:`checkpoint_every` set, the replay is suspendable:
+        it picks up any resume bookmark the store holds for this spec,
+        replays in checkpoint-sized chunks, and clears the bookmark on
+        completion — producing a byte-identical row either way.
+        """
+        if self.checkpoint_every:
+            return self._run_resumable(spec)
         return _replay(spec, self.miss_stream_for(spec))
+
+    def _run_resumable(self, spec: RunSpec) -> PrefetchRunStats:
+        """Chunked replay with store-backed suspend/resume bookmarks."""
+        # Local import: repro.ckpt.manager deliberately avoids importing
+        # the store at runtime, and we return the favor here.
+        from repro.ckpt import CheckpointManager, ReplaySession, SessionSnapshot
+
+        manager = CheckpointManager(self.store)
+        miss_trace = self.miss_stream_for(spec)
+        key = spec.key()
+        session = None
+        resumed = manager.load_continuation(key)
+        if resumed is not None:
+            _, snap = resumed
+            if isinstance(snap, SessionSnapshot):
+                session = ReplaySession.resume(
+                    snap, miss_trace, spec.build_prefetcher()
+                )
+        if session is None:
+            session = ReplaySession(
+                miss_trace,
+                spec.build_prefetcher(),
+                buffer_entries=spec.buffer_entries,
+                max_prefetches_per_miss=spec.max_prefetches_per_miss,
+            )
+        while not session.finished:
+            session.advance(self.checkpoint_every)
+            if not session.finished:
+                manager.save_continuation(key, session.offset, session.snapshot())
+        manager.clear_continuation(key)
+        return annotate_stats(session.stats(), spec)
 
     def run(self, specs: Iterable[RunSpec]) -> ResultSet:
         """Execute a batch; results come back in input order.

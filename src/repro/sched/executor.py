@@ -26,6 +26,8 @@ class DistributedExecutor:
         poll_interval: sweep-progress polling cadence.
         timeout: overall sweep deadline in seconds (None = wait).
         max_attempts: per-job claim budget forwarded to the queue.
+        request_timeout: per-HTTP-request socket timeout in seconds —
+            distinct from ``timeout``, the whole-sweep deadline.
         client: injectable :class:`SchedulerClient` (tests).
     """
 
@@ -35,9 +37,14 @@ class DistributedExecutor:
         poll_interval: float = 0.25,
         timeout: float | None = None,
         max_attempts: int | None = None,
+        request_timeout: float = 30.0,
         client: SchedulerClient | None = None,
     ) -> None:
-        self.client = client if client is not None else SchedulerClient(service_url)
+        self.client = (
+            client
+            if client is not None
+            else SchedulerClient(service_url, timeout=request_timeout)
+        )
         self.poll_interval = poll_interval
         self.timeout = timeout
         self.max_attempts = max_attempts

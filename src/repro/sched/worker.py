@@ -67,6 +67,9 @@ class Worker:
         slow_seconds: sleep this long before each replay (fault
             injection — simulates expensive jobs so kill-mid-sweep
             tests are deterministic; heartbeats keep running).
+        request_timeout: per-HTTP-request socket timeout in seconds —
+            a hung service socket fails the request (and lets lease
+            expiry recover) instead of wedging the worker forever.
         client: injectable :class:`SchedulerClient` (tests).
     """
 
@@ -82,9 +85,14 @@ class Worker:
         fail_keys: frozenset[str] | set[str] = frozenset(),
         crash_after_claims: int | None = None,
         slow_seconds: float = 0.0,
+        request_timeout: float = 30.0,
         client: SchedulerClient | None = None,
     ) -> None:
-        self.client = client if client is not None else SchedulerClient(base_url)
+        self.client = (
+            client
+            if client is not None
+            else SchedulerClient(base_url, timeout=request_timeout)
+        )
         self.worker_id = worker_id or default_worker_id()
         self.runner = Runner(cache=MissStreamCache(), store=store)
         self.lease_seconds = lease_seconds
@@ -244,6 +252,7 @@ def run_worker(
     worker_id: str | None = None,
     crash_after_claims: int | None = None,
     slow_seconds: float = 0.0,
+    request_timeout: float = 30.0,
 ) -> int:
     """Blocking CLI entry point (``repro-tlb worker``)."""
     worker = Worker(
@@ -256,6 +265,7 @@ def run_worker(
         max_jobs=max_jobs,
         crash_after_claims=crash_after_claims,
         slow_seconds=slow_seconds,
+        request_timeout=request_timeout,
     )
     print(
         f"repro-tlb worker {worker.worker_id} polling {worker.client.base_url} "

@@ -21,7 +21,17 @@ without touching Python:
 ``POST /cancel``            cancel a sweep's queued jobs
 ``GET  /jobs/<id>``         one job's full record
 ``GET  /progress``          state counts for a sweep (or the queue)
+``POST /streams``           open a suspendable streaming replay
+                            session for one spec
+``POST /streams/<id>/advance``  replay the next N miss entries and
+                            checkpoint the session
+``GET  /streams/<id>/stats``    a session's progress + statistics so far
 ==========================  ===========================================
+
+Streaming sessions are checkpointed into the store on every advance,
+so they survive idle eviction and server restarts; the final
+statistics are byte-identical to a one-shot ``POST /runs`` of the same
+spec no matter how the stream was chunked.
 
 Launch with ``repro-tlb serve --store DIR`` or programmatically via
 :func:`make_server`; :class:`~repro.service.client.ServiceClient` is a

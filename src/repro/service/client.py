@@ -80,17 +80,22 @@ class ServiceClient:
         payload: dict | None = None,
         method: str | None = None,
         idempotent: bool | None = None,
+        timeout: float | None = None,
     ) -> dict:
         """One request; returns the decoded payload or raises ServiceError.
 
         ``idempotent`` controls transient-failure retrying; by default
         only GETs qualify. An HTTP error status is never retried — the
         server answered, retrying would not change its mind.
+        ``timeout`` overrides the client-wide socket timeout for this
+        one request (a long streaming advance next to quick polls).
         """
         data = json.dumps(payload).encode() if payload is not None else None
         method = method or ("POST" if data is not None else "GET")
         if idempotent is None:
             idempotent = method == "GET"
+        if timeout is None:
+            timeout = self.timeout
         attempt = 0
         while True:
             request = urllib.request.Request(
@@ -100,7 +105,7 @@ class ServiceClient:
                 headers={"Content-Type": "application/json"},
             )
             try:
-                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                with urllib.request.urlopen(request, timeout=timeout) as response:
                     return json.loads(response.read())
             except urllib.error.HTTPError as exc:
                 body = exc.read()
@@ -160,6 +165,45 @@ class ServiceClient:
         encoded = urllib.parse.urlencode(query)
         return self.request("/results" + (f"?{encoded}" if encoded else ""))
 
-    def submit(self, specs: list[dict], workers: int = 0) -> dict:
+    def submit(
+        self, specs: list[dict], workers: int = 0, timeout: float | None = None
+    ) -> dict:
         """``POST /runs``: execute (or fetch) a batch of spec dicts."""
-        return self.request("/runs", {"specs": specs, "workers": workers})
+        return self.request(
+            "/runs", {"specs": specs, "workers": workers}, timeout=timeout
+        )
+
+    # -- streaming wrappers --------------------------------------------------
+
+    def stream_open(
+        self,
+        spec: dict,
+        session_id: str | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        """``POST /streams``: open a suspendable replay session."""
+        body: dict[str, Any] = {"spec": spec}
+        if session_id is not None:
+            body["session_id"] = session_id
+        return self.request("/streams", body, timeout=timeout)
+
+    def stream_advance(
+        self,
+        session_id: str,
+        count: int | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        """``POST /streams/<id>/advance``: replay the next chunk.
+
+        ``count=None`` replays everything remaining — pair that with a
+        generous ``timeout`` for large streams.
+        """
+        quoted = urllib.parse.quote(session_id, safe="")
+        return self.request(
+            f"/streams/{quoted}/advance", {"count": count}, timeout=timeout
+        )
+
+    def stream_stats(self, session_id: str, timeout: float | None = None) -> dict:
+        """``GET /streams/<id>/stats``: progress + statistics so far."""
+        quoted = urllib.parse.quote(session_id, safe="")
+        return self.request(f"/streams/{quoted}/stats", timeout=timeout)

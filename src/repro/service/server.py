@@ -19,19 +19,33 @@ artifacts as ``<store>/jobs.sqlite``) behind ``POST /jobs`` / ``/claim``
 never enter the queue, claims re-probe it so a spec landed mid-sweep is
 never handed out twice, and completions write rows back through the
 store — content-addressed and deduplicated.
+
+Streaming replay lives under ``/streams``: ``POST /streams`` opens a
+suspendable :class:`~repro.ckpt.ReplaySession` for one spec, chunked
+``POST /streams/<id>/advance`` replays the next N miss entries, and
+``GET /streams/<id>/stats`` reports progress and statistics so far.
+Every advance checkpoints the session (content-addressed snapshot +
+descriptor record) through the store's ``ckpt`` artifacts, so sessions
+survive idle eviction *and* full server restarts: an unknown session id
+is restored from its persisted snapshot on the next touch, and the
+final statistics are byte-identical to a single-shot replay no matter
+how the stream was chunked or interrupted.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+import time
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qsl, unquote, urlparse
 
-from repro.errors import ReproError, StoreError
+from repro.ckpt import CheckpointManager, ReplaySession, SessionSnapshot
+from repro.errors import CkptError, ReproError, StoreError
 from repro.run.results import ResultSet
-from repro.run.runner import MissStreamCache, Runner
+from repro.run.runner import MissStreamCache, Runner, annotate_stats
 from repro.run.spec import RunSpec
 from repro.sched.queue import JobQueue
 from repro.sim.stats import PrefetchRunStats
@@ -63,6 +77,9 @@ class ExperimentService:
         queue: the scheduler's job queue; defaults to a persistent one
             at ``<store root>/jobs.sqlite``, so a restarted server
             resumes exactly where the fleet left off.
+        max_idle_seconds: streaming sessions untouched for this long
+            are evicted from memory (their persisted checkpoint stays
+            in the store; the next touch restores them transparently).
     """
 
     def __init__(
@@ -70,6 +87,7 @@ class ExperimentService:
         store: ExperimentStore,
         runner: Runner | None = None,
         queue: JobQueue | None = None,
+        max_idle_seconds: float = 300.0,
     ) -> None:
         self.store = store
         self.runner = (
@@ -80,6 +98,16 @@ class ExperimentService:
         self.queue = (
             queue if queue is not None else JobQueue(store.root / "jobs.sqlite")
         )
+        self.ckpt = CheckpointManager(store)
+        self.max_idle_seconds = max_idle_seconds
+        # One lock serializes all /streams traffic: sessions mutate
+        # under advance, and correctness beats concurrency for a
+        # replay that is deterministic anyway.
+        self._streams_lock = threading.RLock()
+        self._sessions: dict[str, tuple[ReplaySession, RunSpec]] = {}
+        self._session_touched: dict[str, float] = {}
+        self._sessions_restored = 0
+        self._sessions_evicted = 0
 
     # -- dispatch ----------------------------------------------------------
 
@@ -103,6 +131,24 @@ class ExperimentService:
                 return self._get_run(path[len("/runs/"):])
             if method == "GET" and path.startswith("/jobs/"):
                 return self._get_job(path[len("/jobs/"):])
+            if method == "GET" and path.startswith("/streams/"):
+                session_id, _, verb = path[len("/streams/"):].partition("/")
+                if verb == "stats":
+                    return self._get_stream_stats(unquote(session_id))
+                return 404, self._envelope(
+                    {"error": f"unknown route {method} {path}"}
+                )
+            if method == "POST" and path == "/streams":
+                return self._post_streams(body if body is not None else {})
+            if method == "POST" and path.startswith("/streams/"):
+                session_id, _, verb = path[len("/streams/"):].partition("/")
+                if verb == "advance":
+                    return self._post_stream_advance(
+                        unquote(session_id), body if body is not None else {}
+                    )
+                return 404, self._envelope(
+                    {"error": f"unknown route {method} {path}"}
+                )
             if method == "POST" and path == "/runs":
                 return self._post_runs(body if body is not None else {})
             if method == "POST" and path == "/jobs":
@@ -116,8 +162,9 @@ class ExperimentService:
             if method == "POST" and path == "/cancel":
                 return self._post_cancel(body if body is not None else {})
             return 404, self._envelope({"error": f"unknown route {method} {path}"})
-        except StoreError as exc:
-            # A corrupt artifact is a server-side problem, not a bad request.
+        except (StoreError, CkptError) as exc:
+            # A corrupt artifact (result row or checkpoint blob) is a
+            # server-side problem, not a bad request.
             return 500, self._envelope({"error": str(exc)})
         except ReproError as exc:
             # Library-validated input (unknown workload/mechanism, bad
@@ -137,11 +184,18 @@ class ExperimentService:
     # -- routes ------------------------------------------------------------
 
     def _get_stats(self) -> tuple[int, dict]:
+        with self._streams_lock:
+            streams = {
+                "active": len(self._sessions),
+                "restored": self._sessions_restored,
+                "evicted": self._sessions_evicted,
+            }
         return 200, self._envelope(
             {
                 "store": self.store.stats(),
                 "stream_cache": self.runner.cache.stats(),
                 "queue": self.queue.stats(),
+                "streams": streams,
             }
         )
 
@@ -238,6 +292,205 @@ class ExperimentService:
             }
         )
         return 200, self._envelope(payload)
+
+    # -- streaming routes --------------------------------------------------
+
+    def _checkpoint_session(
+        self, session_id: str, spec: RunSpec, session: ReplaySession
+    ) -> str:
+        """Persist the session's snapshot and descriptor; returns the digest.
+
+        Blob first, record second: a crash between the writes leaves at
+        worst an orphan blob, never a record pointing at nothing newer
+        than the previous checkpoint.
+        """
+        digest = self.ckpt.save(session.snapshot())
+        self.ckpt.save_session(
+            session_id,
+            {
+                "spec": spec.to_dict(),
+                "spec_key": spec.key(),
+                "stream_offset": session.offset,
+                "state_digest": digest,
+            },
+        )
+        return digest
+
+    def _evict_idle_sessions(self) -> None:
+        """Drop sessions untouched past ``max_idle_seconds`` from memory.
+
+        Eviction only forgets the live object — the persisted
+        checkpoint stays in the store, so the next touch restores the
+        session exactly where it paused.
+        """
+        if self.max_idle_seconds <= 0:
+            return
+        now = time.monotonic()
+        for session_id, touched in list(self._session_touched.items()):
+            if now - touched > self.max_idle_seconds:
+                self._sessions.pop(session_id, None)
+                del self._session_touched[session_id]
+                self._sessions_evicted += 1
+
+    def _resolve_session(
+        self, session_id: str
+    ) -> tuple[ReplaySession, RunSpec] | tuple[int, dict]:
+        """The live session for ``session_id``, restored if necessary.
+
+        Returns the usual ``(status, payload)`` error pair when the id
+        is unknown or its checkpoint blob has been garbage-collected;
+        callers tell the cases apart by the first element's type.
+        """
+        entry = self._sessions.get(session_id)
+        if entry is not None:
+            self._session_touched[session_id] = time.monotonic()
+            return entry
+        record = self.ckpt.load_session(session_id)
+        if record is None:
+            return 404, self._envelope(
+                {"error": f"no streaming session {session_id!r}"}
+            )
+        digest = record.get("state_digest")
+        if not isinstance(digest, str):
+            raise CkptError(
+                f"corrupt session record {session_id!r}: no state digest"
+            )
+        snap = self.ckpt.load(digest)
+        if snap is None:
+            return 410, self._envelope(
+                {
+                    "error": f"session {session_id!r} cannot be restored: "
+                    f"checkpoint {digest} was garbage-collected"
+                }
+            )
+        if not isinstance(snap, SessionSnapshot):
+            raise CkptError(
+                f"session {session_id!r} points at a {type(snap).__name__}, "
+                "not a session snapshot"
+            )
+        try:
+            spec = RunSpec.from_dict(record.get("spec"))
+        except (TypeError, ValueError) as error:
+            # The record came from our own store, so a spec that no
+            # longer parses is corruption, not a client mistake.
+            raise CkptError(
+                f"corrupt session record {session_id!r}: {error}"
+            ) from error
+        session = ReplaySession.resume(
+            snap, self.runner.miss_stream_for(spec), spec.build_prefetcher()
+        )
+        self._sessions[session_id] = (session, spec)
+        self._session_touched[session_id] = time.monotonic()
+        self._sessions_restored += 1
+        return session, spec
+
+    def _session_payload(
+        self,
+        session_id: str,
+        session: ReplaySession,
+        spec: RunSpec,
+        **extra: object,
+    ) -> dict:
+        stats = annotate_stats(session.stats(), spec)
+        return self._envelope(
+            {
+                "session_id": session_id,
+                "spec_key": spec.key(),
+                "offset": session.offset,
+                "total": session.total,
+                "remaining": session.remaining,
+                "finished": session.finished,
+                "stats": json.loads(ResultSet([stats]).to_json())["runs"][0],
+                **extra,
+            }
+        )
+
+    def _post_streams(self, body: dict) -> tuple[int, dict]:
+        """Open a suspendable streaming session for one spec."""
+        if not isinstance(body, dict):
+            return 400, self._envelope(
+                {"error": f"request body must be an object, got {type(body).__name__}"}
+            )
+        raw_spec = body.get("spec")
+        if not isinstance(raw_spec, dict):
+            return 400, self._envelope(
+                {"error": "request body needs a 'spec' RunSpec object"}
+            )
+        try:
+            spec = RunSpec.from_dict(raw_spec)
+        except (TypeError, ValueError) as exc:
+            return 400, self._envelope({"error": str(exc)})
+        session_id = body.get("session_id")
+        if session_id is None:
+            session_id = f"stream-{uuid.uuid4().hex[:12]}"
+        if not isinstance(session_id, str) or not session_id or "/" in session_id:
+            return 400, self._envelope(
+                {"error": f"malformed session id {session_id!r}"}
+            )
+        with self._streams_lock:
+            self._evict_idle_sessions()
+            if (
+                session_id in self._sessions
+                or self.ckpt.load_session(session_id) is not None
+            ):
+                return 409, self._envelope(
+                    {"error": f"streaming session {session_id!r} already exists"}
+                )
+            session = ReplaySession(
+                self.runner.miss_stream_for(spec),
+                spec.build_prefetcher(),
+                buffer_entries=spec.buffer_entries,
+                max_prefetches_per_miss=spec.max_prefetches_per_miss,
+            )
+            self._sessions[session_id] = (session, spec)
+            self._session_touched[session_id] = time.monotonic()
+            digest = self._checkpoint_session(session_id, spec, session)
+            return 200, self._session_payload(
+                session_id, session, spec, state_digest=digest
+            )
+
+    def _post_stream_advance(
+        self, session_id: str, body: dict
+    ) -> tuple[int, dict]:
+        """Replay the next chunk of a session, then checkpoint it."""
+        if not isinstance(body, dict):
+            return 400, self._envelope(
+                {"error": f"request body must be an object, got {type(body).__name__}"}
+            )
+        count = body.get("count")
+        if count is not None and (
+            not isinstance(count, int) or isinstance(count, bool) or count < 0
+        ):
+            return 400, self._envelope(
+                {
+                    "error": "'count' must be a non-negative integer or "
+                    f"null, got {count!r}"
+                }
+            )
+        with self._streams_lock:
+            self._evict_idle_sessions()
+            resolved = self._resolve_session(session_id)
+            if isinstance(resolved[0], int):
+                return resolved
+            session, spec = resolved
+            advanced = session.advance(count)
+            digest = self._checkpoint_session(session_id, spec, session)
+            return 200, self._session_payload(
+                session_id,
+                session,
+                spec,
+                advanced=advanced,
+                state_digest=digest,
+            )
+
+    def _get_stream_stats(self, session_id: str) -> tuple[int, dict]:
+        """Progress and statistics-so-far; restores an evicted session."""
+        with self._streams_lock:
+            resolved = self._resolve_session(session_id)
+            if isinstance(resolved[0], int):
+                return resolved
+            session, spec = resolved
+            return 200, self._session_payload(session_id, session, spec)
 
     # -- scheduler routes --------------------------------------------------
 
@@ -512,12 +765,16 @@ def make_server(
     port: int = 0,
     workers: int = 0,
     verbose: bool = False,
+    max_idle_seconds: float = 300.0,
 ) -> ExperimentServer:
     """Build a ready-to-run server (``port=0`` picks a free port)."""
     if not isinstance(store, ExperimentStore):
         store = ExperimentStore(store)
     runner = Runner(workers=workers, cache=MissStreamCache(), store=store)
-    return ExperimentServer((host, port), ExperimentService(store, runner), verbose)
+    service = ExperimentService(
+        store, runner, max_idle_seconds=max_idle_seconds
+    )
+    return ExperimentServer((host, port), service, verbose)
 
 
 def serve(

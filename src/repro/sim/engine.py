@@ -10,9 +10,12 @@ Two engines can replay a mechanism over a TLB miss stream:
   flat-array loops, bit-identical by contract (and by the
   ``tests/differential/`` harness) but several times faster.
 
-``"auto"`` picks the fast engine whenever it is safe: the mechanism
-must have a fast loop and must be untrained (the fast engine rebuilds
-state from scratch). Everything else falls back to the reference
+``"auto"`` picks the fast engine whenever the mechanism has a fast
+loop. Warm-started (trained) instances take the fast path too: the
+fast engine seeds its tables from a canonical snapshot of the instance
+and writes the final state back (:mod:`repro.ckpt`), so the engines
+agree on statistics *and* side effects. Only mechanisms without a fast
+loop — e.g. user-defined subclasses — fall back to the reference
 engine, so ``auto`` is always correct to request.
 """
 
@@ -47,11 +50,12 @@ def fast_available(prefetcher: Prefetcher) -> bool:
 def fast_preferred(prefetcher: Prefetcher) -> bool:
     """True when ``engine="auto"`` would pick the fast engine.
 
-    ``auto`` falls back to the reference engine for mechanisms without
-    a fast loop (e.g. user-defined subclasses) and for instances that
-    carry trained state — the fast engine always replays from scratch.
+    ``auto`` falls back to the reference engine only for mechanisms
+    without a fast loop (e.g. user-defined subclasses); trained state
+    no longer matters — the fast engine warm-starts from a snapshot of
+    the instance and trains it exactly as the reference engine would.
     """
-    return fastpath.supports(prefetcher) and fastpath.is_fresh(prefetcher)
+    return fastpath.supports(prefetcher)
 
 
 def resolve_engine(prefetcher: Prefetcher, engine: str = "auto") -> str:
@@ -71,9 +75,10 @@ def replay(
 ) -> PrefetchRunStats:
     """Replay one mechanism over a miss stream on the selected engine.
 
-    Both engines return identical statistics for a fresh mechanism;
-    they differ in side effects: the reference engine trains the given
-    instance, the fast engine leaves it untouched.
+    The engines are observationally identical: same statistics, and
+    both train the given instance (warm or fresh) the same way — any
+    sequence of replays leaves the instance with the same canonical
+    snapshot regardless of which engine ran each one.
     """
     if resolve_engine(prefetcher, engine) == "fast":
         return fastpath.replay_fast(

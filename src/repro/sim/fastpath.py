@@ -14,21 +14,26 @@ rather than per-reference objects. The miss stream itself is
 precompiled once into flat lists (and, for recency prefetching, a
 dense ``numpy`` page-id mapping) before the loop starts.
 
-The contract is **bit-identical statistics**: for a freshly-built
-mechanism, :func:`replay_fast` returns exactly the
+The contract is **bit-identical statistics**: :func:`replay_fast`
+returns exactly the
 :class:`~repro.sim.stats.PrefetchRunStats` the reference engine
 returns, field for field. That contract is enforced by
 ``tests/differential/`` — a curated grid over every mechanism family,
 workload family and page size, plus seeded randomized traces/specs —
 and any change here must keep that suite green.
 
-Unlike the reference engine, the fast engine never mutates the
-mechanism instance it is given: the instance serves only as a
-*configuration template* (rows, ways, slots, degree...), and replay
-state is rebuilt from scratch. Callers who rely on training an
-instance across runs must use the reference engine; the
-``engine="auto"`` dispatch in :mod:`repro.sim.engine` falls back to it
-automatically when an instance has prior state.
+The engines are also *observationally identical in side effects*:
+like the reference engine, :func:`replay_fast` trains the instance it
+is given. It captures a canonical :mod:`repro.ckpt.snapshots` snapshot
+of the instance (cheap when fresh), seeds the flat loop structures
+from it, runs the loop, and restores the final snapshot back into the
+instance — so warm-started instances replay on the fast path too, and
+the ``engine="auto"`` dispatch in :mod:`repro.sim.engine` falls back
+to the reference engine only for mechanisms without a fast loop (e.g.
+user-defined subclasses). The one permitted divergence is the
+diagnostic counters excluded from snapshots (table lookup/tag-hit/
+eviction tallies, recency-stack pointer writes): the fast engine
+leaves them zeroed where the reference engine increments them.
 
 Implementation notes shared by every loop below:
 
@@ -51,6 +56,20 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ckpt.snapshots import (
+    AdaptiveSequentialSnapshot,
+    DistancePairSnapshot,
+    DistanceSnapshot,
+    MarkovSnapshot,
+    MechanismSnapshot,
+    PCDistanceSnapshot,
+    RecencySnapshot,
+    SequentialSnapshot,
+    StrideSnapshot,
+    TableSnapshot,
+    restore_prefetcher,
+    snapshot_prefetcher,
+)
 from repro.core.distance import DistancePrefetcher
 from repro.core.distance_pair import DistancePairPrefetcher, pack_distance_pair
 from repro.core.pc_distance import PCDistancePrefetcher, pack_pc_distance
@@ -156,11 +175,12 @@ def _replay_adaptive_sequential(
     window: int,
     raise_above: float,
     lower_below: float,
-) -> None:
+    degree: int = 1,
+    window_misses: int = 0,
+    window_hits: int = 0,
+) -> tuple[int, int, int]:
     buf: dict[int, None] = {}
     buffered = pb_hits = issued = inserted = refreshed = evicted_unused = 0
-    degree = 1
-    window_misses = window_hits = 0
     for index, page in enumerate(pages):
         pb_hit = page in buf
         if pb_hit:
@@ -194,6 +214,7 @@ def _replay_adaptive_sequential(
                 buf[target] = None
                 inserted += 1
     counters.fill(pb_hits, issued, inserted, refreshed, evicted_unused)
+    return degree, window_misses, window_hits
 
 
 def _replay_stride(
@@ -205,7 +226,8 @@ def _replay_stride(
     counters: _Counters,
     rows: int,
     ways: int,
-) -> None:
+    seed: TableSnapshot | None = None,
+) -> TableSnapshot:
     buf: dict[int, None] = {}
     buffered = pb_hits = issued = inserted = refreshed = evicted_unused = 0
     # Chen & Baer states: 0=initial 1=transient 2=steady 3=no-prediction.
@@ -216,6 +238,15 @@ def _replay_stride(
         prev_pages = [0] * rows
         strides = [0] * rows
         states = bytearray(rows)
+        if seed is not None:
+            for row, pairs in enumerate(seed.sets):
+                if pairs:
+                    key, payload = pairs[-1]
+                    occupied[row] = 1
+                    tags[row] = key
+                    prev_pages[row] = payload[0]
+                    strides[row] = payload[1]
+                    states[row] = payload[2]
         for index, page in enumerate(pages):
             if page in buf:
                 del buf[page]
@@ -273,11 +304,22 @@ def _replay_stride(
                                 buffered += 1
                             buf[target] = None
                             inserted += 1
+        final_sets = [
+            [[tags[row], [prev_pages[row], strides[row], states[row]]]]
+            if occupied[row]
+            else []
+            for row in range(rows)
+        ]
     else:
         # Set-associative: per-set insertion-ordered dicts (first = LRU);
         # each payload is a mutable [prev_page, stride, state] triple.
         num_sets = rows // ways
         sets: list[dict[int, list[int]]] = [{} for _ in range(num_sets)]
+        if seed is not None:
+            for set_index, pairs in enumerate(seed.sets):
+                table_set = sets[set_index]
+                for key, payload in pairs:
+                    table_set[key] = list(payload)
         for index, page in enumerate(pages):
             if page in buf:
                 del buf[page]
@@ -336,7 +378,12 @@ def _replay_stride(
                                 buffered += 1
                             buf[target] = None
                             inserted += 1
+        final_sets = [
+            [[key, entry] for key, entry in table_set.items()]
+            for table_set in sets
+        ]
     counters.fill(pb_hits, issued, inserted, refreshed, evicted_unused)
+    return TableSnapshot(rows=rows, ways=ways, sets=final_sets)
 
 
 def _replay_markov(
@@ -348,14 +395,22 @@ def _replay_markov(
     rows: int,
     ways: int,
     slots: int,
-) -> None:
+    seed: TableSnapshot | None = None,
+    prev_page: int | None = None,
+) -> tuple[TableSnapshot, int | None]:
     buf: dict[int, None] = {}
     buffered = pb_hits = issued = inserted = refreshed = evicted_unused = 0
-    prev_page: int | None = None
     if ways == 1:
         occupied = bytearray(rows)
         tags = [0] * rows
         slot_rows: list[list[int]] = [[] for _ in range(rows)]
+        if seed is not None:
+            for row, pairs in enumerate(seed.sets):
+                if pairs:
+                    key, payload = pairs[-1]
+                    occupied[row] = 1
+                    tags[row] = key
+                    slot_rows[row] = list(payload)
         for index, page in enumerate(pages):
             if page in buf:
                 del buf[page]
@@ -409,9 +464,18 @@ def _replay_markov(
                             buffered += 1
                         buf[target] = None
                         inserted += 1
+        final_sets = [
+            [[tags[row], slot_rows[row]]] if occupied[row] else []
+            for row in range(rows)
+        ]
     else:
         num_sets = rows // ways
         sets: list[dict[int, list[int]]] = [{} for _ in range(num_sets)]
+        if seed is not None:
+            for set_index, pairs in enumerate(seed.sets):
+                table_set = sets[set_index]
+                for key, payload in pairs:
+                    table_set[key] = list(payload)
         for index, page in enumerate(pages):
             if page in buf:
                 del buf[page]
@@ -466,7 +530,12 @@ def _replay_markov(
                             buffered += 1
                         buf[target] = None
                         inserted += 1
+        final_sets = [
+            [[key, row] for key, row in table_set.items()]
+            for table_set in sets
+        ]
     counters.fill(pb_hits, issued, inserted, refreshed, evicted_unused)
+    return TableSnapshot(rows=rows, ways=ways, sets=final_sets), prev_page
 
 
 def _replay_distance(
@@ -478,15 +547,23 @@ def _replay_distance(
     rows: int,
     ways: int,
     slots: int,
-) -> None:
+    seed: TableSnapshot | None = None,
+    prev_page: int | None = None,
+    prev_distance: int | None = None,
+) -> tuple[TableSnapshot, int | None, int | None]:
     buf: dict[int, None] = {}
     buffered = pb_hits = issued = inserted = refreshed = evicted_unused = 0
-    prev_page: int | None = None
-    prev_distance: int | None = None
     if ways == 1:
         occupied = bytearray(rows)
         tags = [0] * rows
         slot_rows: list[list[int]] = [[] for _ in range(rows)]
+        if seed is not None:
+            for row, pairs in enumerate(seed.sets):
+                if pairs:
+                    key, payload = pairs[-1]
+                    occupied[row] = 1
+                    tags[row] = key
+                    slot_rows[row] = list(payload)
         for index, page in enumerate(pages):
             if page in buf:
                 del buf[page]
@@ -549,9 +626,18 @@ def _replay_distance(
                             buffered += 1
                         buf[target] = None
                         inserted += 1
+        final_sets = [
+            [[tags[row], slot_rows[row]]] if occupied[row] else []
+            for row in range(rows)
+        ]
     else:
         num_sets = rows // ways
         sets: list[dict[int, list[int]]] = [{} for _ in range(num_sets)]
+        if seed is not None:
+            for set_index, pairs in enumerate(seed.sets):
+                table_set = sets[set_index]
+                for key, payload in pairs:
+                    table_set[key] = list(payload)
         for index, page in enumerate(pages):
             if page in buf:
                 del buf[page]
@@ -615,7 +701,16 @@ def _replay_distance(
                             buffered += 1
                         buf[target] = None
                         inserted += 1
+        final_sets = [
+            [[key, row] for key, row in table_set.items()]
+            for table_set in sets
+        ]
     counters.fill(pb_hits, issued, inserted, refreshed, evicted_unused)
+    return (
+        TableSnapshot(rows=rows, ways=ways, sets=final_sets),
+        prev_page,
+        prev_distance,
+    )
 
 
 def _replay_keyed_distance(
@@ -629,7 +724,11 @@ def _replay_keyed_distance(
     ways: int,
     slots: int,
     pc_keyed: bool,
-) -> None:
+    seed: TableSnapshot | None = None,
+    prev_page: int | None = None,
+    prev_distance: int | None = None,
+    prev_key: int | None = None,
+) -> tuple[TableSnapshot, int | None, int | None, int | None]:
     """Shared loop for the DP-PC and DP-2 extensions.
 
     Both differ from DP only in the table key: ``pack_pc_distance(pc,
@@ -639,11 +738,13 @@ def _replay_keyed_distance(
     """
     buf: dict[int, None] = {}
     buffered = pb_hits = issued = inserted = refreshed = evicted_unused = 0
-    prev_page: int | None = None
-    prev_distance: int | None = None
-    prev_key: int | None = None
     num_sets = rows // ways
     sets: list[dict[int, list[int]]] = [{} for _ in range(num_sets)]
+    if seed is not None:
+        for set_index, pairs in enumerate(seed.sets):
+            table_set = sets[set_index]
+            for key, payload in pairs:
+                table_set[key] = list(payload)
     for index, page in enumerate(pages):
         if page in buf:
             del buf[page]
@@ -713,7 +814,17 @@ def _replay_keyed_distance(
                         buffered += 1
                     buf[target] = None
                     inserted += 1
+    final_sets = [
+        [[key, row] for key, row in table_set.items()]
+        for table_set in sets
+    ]
     counters.fill(pb_hits, issued, inserted, refreshed, evicted_unused)
+    return (
+        TableSnapshot(rows=rows, ways=ways, sets=final_sets),
+        prev_page,
+        prev_distance,
+        prev_key,
+    )
 
 
 def _replay_recency(
@@ -723,17 +834,28 @@ def _replay_recency(
     clamp: int,
     counters: _Counters,
     variant_three: bool,
-) -> None:
+    seed: RecencySnapshot | None = None,
+) -> tuple[list, int | None, int]:
     """RP over dense page ids: the stack's next/prev pointers become
     flat integer arrays instead of dict-backed page-table entries.
 
     The page↔id mapping is a bijection over every page the stream can
-    mention, so buffer membership, stack linkage and hit accounting are
-    isomorphic to the reference engine's page-number arithmetic.
+    mention — including every page a warm-start ``seed`` carries a
+    page-table entry for — so buffer membership, stack linkage and hit
+    accounting are isomorphic to the reference engine's page-number
+    arithmetic. Returns the final page-table entries in canonical
+    (page-sorted) order, the final stack-top page, and the last miss's
+    overhead ops (RP's ``last_overhead_ops`` semantics).
     """
     pages_array = miss_trace.pages
     evicted_array = miss_trace.evicted
-    unique = np.unique(np.concatenate([pages_array, evicted_array[evicted_array >= 0]]))
+    parts = [pages_array, evicted_array[evicted_array >= 0]]
+    seed_entries = seed.entries if seed is not None else []
+    if seed_entries:
+        parts.append(
+            np.asarray([entry[0] for entry in seed_entries], dtype=np.int64)
+        )
+    unique = np.unique(np.concatenate(parts))
     page_ids = np.searchsorted(unique, pages_array).tolist()
     evicted_ids = np.where(
         evicted_array >= 0, np.searchsorted(unique, evicted_array), -1
@@ -744,9 +866,18 @@ def _replay_recency(
     prev_link = [-1] * footprint
     on_stack = bytearray(footprint)
     top = -1
+    if seed_entries:
+        for page, nxt, prev, stacked in seed_entries:
+            pid = int(np.searchsorted(unique, page))
+            next_link[pid] = -1 if nxt is None else int(np.searchsorted(unique, nxt))
+            prev_link[pid] = -1 if prev is None else int(np.searchsorted(unique, prev))
+            on_stack[pid] = 1 if stacked else 0
+        if seed.top is not None:
+            top = int(np.searchsorted(unique, seed.top))
 
     buf: dict[int, None] = {}
     buffered = pb_hits = issued = inserted = refreshed = evicted_unused = overhead = 0
+    miss_overhead = 0
     for index, page in enumerate(page_ids):
         if page in buf:
             del buf[page]
@@ -767,9 +898,11 @@ def _replay_recency(
             next_link[page] = -1
             on_stack[page] = 0
             overhead += 2
+            miss_overhead = 2
         else:
             below = -1
             above = -1
+            miss_overhead = 0
         evicted = evicted_ids[index]
         if evicted != -1:
             if on_stack[evicted]:
@@ -791,6 +924,7 @@ def _replay_recency(
                 prev_link[top] = evicted
             top = evicted
             overhead += 2
+            miss_overhead += 2
         prefetches = []
         if above != -1:
             prefetches.append(above)
@@ -818,6 +952,22 @@ def _replay_recency(
                     buf[target] = None
                     inserted += 1
     counters.fill(pb_hits, issued, inserted, refreshed, evicted_unused, overhead)
+
+    unique_pages = unique.tolist()
+    entries = []
+    for pid in range(footprint):
+        nxt = next_link[pid]
+        prev = prev_link[pid]
+        entries.append(
+            [
+                unique_pages[pid],
+                None if nxt == -1 else unique_pages[nxt],
+                None if prev == -1 else unique_pages[prev],
+                bool(on_stack[pid]),
+            ]
+        )
+    top_page = None if top == -1 else unique_pages[top]
+    return entries, top_page, miss_overhead
 
 
 # ---------------------------------------------------------------------------
@@ -850,9 +1000,10 @@ def supports(prefetcher: Prefetcher) -> bool:
 def is_fresh(prefetcher: Prefetcher) -> bool:
     """True when the instance carries no trained state or statistics.
 
-    The fast engine rebuilds mechanism state from scratch, so its
-    output matches the reference engine only for untrained instances;
-    :mod:`repro.sim.engine` uses this to fall back under ``auto``.
+    Since the fast engine learned to seed its tables from (and write
+    final state back through) :mod:`repro.ckpt.snapshots`, engine
+    dispatch no longer cares about freshness — both engines handle
+    warm instances identically. Kept as a cheap public predicate.
     Each mechanism reports its own trained state through
     :meth:`~repro.prefetch.base.Prefetcher.has_prediction_state`.
     """
@@ -863,6 +1014,24 @@ def is_fresh(prefetcher: Prefetcher) -> bool:
     )
 
 
+def _final_counters(
+    initial: MechanismSnapshot, counters: _Counters, ran: bool
+) -> dict:
+    """Base-counter fields of the post-run snapshot.
+
+    Every mechanism here calls ``Prefetcher.account`` on each miss with
+    zero overhead ops (RP, the exception, is handled separately), so
+    after one or more misses ``last_overhead_ops`` is 0; an empty
+    stream leaves all counters untouched. Issue/overhead totals grow by
+    this run's activity on top of the instance's prior tallies.
+    """
+    return {
+        "last_overhead_ops": 0 if ran else initial.last_overhead_ops,
+        "prefetches_issued": initial.prefetches_issued + counters.issued,
+        "overhead_ops_total": initial.overhead_ops_total + counters.overhead,
+    }
+
+
 def replay_fast(
     miss_trace: MissTrace,
     prefetcher: Prefetcher,
@@ -871,75 +1040,148 @@ def replay_fast(
 ) -> "PrefetchRunStats":
     """Fast-path equivalent of :func:`~repro.sim.two_phase.replay_prefetcher`.
 
-    ``prefetcher`` is read for configuration (and its label) but never
-    mutated. Raises :class:`~repro.errors.ConfigurationError` when the
-    mechanism has no fast loop or carries trained state.
+    Trains ``prefetcher`` exactly as the reference engine would: the
+    instance's state (warm or fresh) seeds the loop, and the final
+    state is restored back into it, so canonical snapshots of the
+    instance agree between engines after any sequence of replays.
+    Raises :class:`~repro.errors.ConfigurationError` when the mechanism
+    has no fast loop.
     """
     if not supports(prefetcher):
         raise ConfigurationError(
             f"fast engine has no replay loop for {type(prefetcher).__name__}; "
             "use engine='reference'"
         )
-    if not is_fresh(prefetcher):
-        raise ConfigurationError(
-            "fast engine replays from a fresh state; this "
-            f"{type(prefetcher).__name__} instance has prior training or "
-            "statistics — use engine='reference' to continue training it"
-        )
 
     cap = buffer_entries
     clamp = max_prefetches_per_miss
     warmup = miss_trace.warmup_misses
     counters = _Counters()
+    initial = snapshot_prefetcher(prefetcher)
 
     kind = type(prefetcher)
     if kind is RecencyPrefetcher:
         # RP builds its own dense numpy id arrays; skip the flat-list
         # precompilation the other loops iterate over.
-        _replay_recency(
-            miss_trace, warmup, cap, clamp, counters, prefetcher.variant_three
+        entries, top_page, last_overhead = _replay_recency(
+            miss_trace, warmup, cap, clamp, counters,
+            prefetcher.variant_three, initial,
         )
+        ran = len(miss_trace.pages) > 0
+        final = RecencySnapshot(
+            # RP's on_miss reports each miss's pointer ops, so the last
+            # miss's overhead (not 0) is what account() leaves behind.
+            last_overhead_ops=last_overhead if ran else initial.last_overhead_ops,
+            prefetches_issued=initial.prefetches_issued + counters.issued,
+            overhead_ops_total=initial.overhead_ops_total + counters.overhead,
+            variant_three=prefetcher.variant_three,
+            top=top_page,
+            entries=entries,
+        )
+        restore_prefetcher(final, prefetcher)
         return _stats_from(miss_trace, prefetcher, counters)
 
     pcs, pages, _evicted, warmup = compile_stream(miss_trace)
+    ran = len(pages) > 0
     if kind is NullPrefetcher:
+        # Null never calls account(): the reference engine leaves the
+        # instance untouched too, so there is nothing to write back.
         _replay_null(pages, warmup, counters)
-    elif kind is SequentialPrefetcher:
+        return _stats_from(miss_trace, prefetcher, counters)
+
+    if kind is SequentialPrefetcher:
         _replay_sequential(pages, warmup, cap, clamp, counters, prefetcher.degree)
+        final = SequentialSnapshot(
+            degree=prefetcher.degree,
+            **_final_counters(initial, counters, ran),
+        )
     elif kind is AdaptiveSequentialPrefetcher:
-        _replay_adaptive_sequential(
+        degree, window_misses, window_hits = _replay_adaptive_sequential(
             pages, warmup, cap, clamp, counters,
             prefetcher.max_degree, prefetcher.window,
             prefetcher.raise_above, prefetcher.lower_below,
+            initial.degree, initial.window_misses, initial.window_hits,
+        )
+        final = AdaptiveSequentialSnapshot(
+            max_degree=prefetcher.max_degree,
+            window=prefetcher.window,
+            raise_above=prefetcher.raise_above,
+            lower_below=prefetcher.lower_below,
+            degree=degree,
+            window_misses=window_misses,
+            window_hits=window_hits,
+            **_final_counters(initial, counters, ran),
         )
     elif kind is ArbitraryStridePrefetcher:
-        _replay_stride(
+        table = _replay_stride(
             pcs, pages, warmup, cap, clamp, counters,
             prefetcher.table.rows, prefetcher.table.ways,
+            initial.table,
+        )
+        final = StrideSnapshot(
+            table=table, **_final_counters(initial, counters, ran)
         )
     elif kind is MarkovPrefetcher:
-        _replay_markov(
+        table, prev_page = _replay_markov(
             pages, warmup, cap, clamp, counters,
             prefetcher.table.rows, prefetcher.table.ways, prefetcher.slots,
+            initial.table, initial.prev_page,
+        )
+        final = MarkovSnapshot(
+            slots=prefetcher.slots,
+            prev_page=prev_page,
+            table=table,
+            **_final_counters(initial, counters, ran),
         )
     elif kind is DistancePrefetcher:
-        _replay_distance(
+        table, prev_page, prev_distance = _replay_distance(
             pages, warmup, cap, clamp, counters,
             prefetcher.table.rows, prefetcher.table.ways, prefetcher.slots,
+            initial.table, initial.prev_page, initial.prev_distance,
+        )
+        final = DistanceSnapshot(
+            slots=prefetcher.slots,
+            prev_page=prev_page,
+            prev_distance=prev_distance,
+            table=table,
+            **_final_counters(initial, counters, ran),
         )
     elif kind is PCDistancePrefetcher:
-        _replay_keyed_distance(
+        table, prev_page, _, prev_key = _replay_keyed_distance(
             pcs, pages, warmup, cap, clamp, counters,
             prefetcher.table.rows, prefetcher.table.ways, prefetcher.slots,
             pc_keyed=True,
+            seed=initial.table,
+            prev_page=initial.prev_page,
+            prev_key=initial.prev_key,
+        )
+        final = PCDistanceSnapshot(
+            slots=prefetcher.slots,
+            prev_page=prev_page,
+            prev_key=prev_key,
+            table=table,
+            **_final_counters(initial, counters, ran),
         )
     else:  # DistancePairPrefetcher (supports() already vetted the type)
-        _replay_keyed_distance(
+        table, prev_page, prev_distance, prev_key = _replay_keyed_distance(
             pcs, pages, warmup, cap, clamp, counters,
             prefetcher.table.rows, prefetcher.table.ways, prefetcher.slots,
             pc_keyed=False,
+            seed=initial.table,
+            prev_page=initial.prev_page,
+            prev_distance=initial.prev_distance,
+            prev_key=initial.prev_key,
+        )
+        final = DistancePairSnapshot(
+            slots=prefetcher.slots,
+            prev_page=prev_page,
+            prev_distance=prev_distance,
+            prev_key=prev_key,
+            table=table,
+            **_final_counters(initial, counters, ran),
         )
 
+    restore_prefetcher(final, prefetcher)
     return _stats_from(miss_trace, prefetcher, counters)
 
 

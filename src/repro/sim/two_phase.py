@@ -145,9 +145,9 @@ def evaluate(
     """Convenience wrapper: filter then replay under one config.
 
     ``engine`` selects the replay implementation (see
-    :mod:`repro.sim.engine`): ``"reference"`` (default, trains the
-    given instance), ``"fast"`` (specialized loops, instance untouched)
-    or ``"auto"``. All engines return bit-identical statistics.
+    :mod:`repro.sim.engine`): ``"reference"`` (default), ``"fast"``
+    (specialized loops) or ``"auto"``. All engines return bit-identical
+    statistics and train the given instance identically.
     """
     config = config or SimulationConfig()
     miss_trace = filter_tlb(trace, config.tlb, config.warmup_fraction)

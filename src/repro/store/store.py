@@ -6,6 +6,7 @@ On-disk layout (everything lives under one root directory)::
         index.sqlite          # entry index + persistent counters
         results/<key>.json    # one executed RunSpec, by RunSpec.key()
         streams/<digest>.npz  # one filtered miss stream (trace_io format)
+        ckpt/<key>.bin        # one checkpoint blob (repro.ckpt format)
 
 Design points:
 
@@ -36,6 +37,7 @@ import hashlib
 import itertools
 import json
 import os
+import re
 import sqlite3
 import threading
 import time
@@ -61,7 +63,12 @@ STORE_SCHEMA = "repro.store/v1"
 
 _RESULT = "result"
 _STREAM = "stream"
-_KINDS = (_RESULT, _STREAM)
+_CKPT = "ckpt"
+_KINDS = (_RESULT, _STREAM, _CKPT)
+
+#: Characters allowed verbatim in a checkpoint artifact filename; any
+#: other key is stored under a digest of itself instead.
+_SAFE_CKPT_KEY = re.compile(r"^[A-Za-z0-9._-]+$")
 
 #: Errors that mean "this artifact is damaged", translated to StoreError.
 _ARTIFACT_ERRORS = (
@@ -135,6 +142,7 @@ class ExperimentStore:
         self._pins: Counter[tuple[str, str]] = Counter()
         (self.root / "results").mkdir(parents=True, exist_ok=True)
         (self.root / "streams").mkdir(parents=True, exist_ok=True)
+        (self.root / "ckpt").mkdir(parents=True, exist_ok=True)
         self._db = sqlite3.connect(
             self.root / "index.sqlite",
             timeout=30.0,
@@ -485,6 +493,93 @@ class ExperimentStore:
             self.gc()
         return digest
 
+    # -- checkpoint blobs --------------------------------------------------
+
+    @staticmethod
+    def _ckpt_rel(key: str) -> str:
+        """Artifact path for a checkpoint key.
+
+        Filesystem-safe keys (content digests, mostly) map to
+        ``ckpt/<key>.bin`` directly; anything else — continuation and
+        session record keys contain ``:`` — is filed under a digest of
+        the key so no key can escape the ``ckpt/`` directory.
+        """
+        if _SAFE_CKPT_KEY.match(key):
+            return f"ckpt/{key}.bin"
+        return f"ckpt/{hashlib.sha256(key.encode()).hexdigest()[:32]}.bin"
+
+    def put_ckpt(self, key: str, blob: bytes) -> str:
+        """Store one opaque checkpoint blob under ``key``; returns it.
+
+        The store does not interpret the bytes — framing, schema and
+        integrity are :mod:`repro.ckpt`'s concern — it only files,
+        indexes, and garbage-collects them like any other artifact.
+        """
+        rel = self._ckpt_rel(key)
+        with self._lock:
+            self._write_atomic(self.root / rel, blob)
+            self._db.execute("BEGIN IMMEDIATE")
+            try:
+                self._record_entry(_CKPT, key, rel, len(blob), None, None)
+                self._db.execute("COMMIT")
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+        if self.max_bytes is not None:
+            self.gc()
+        return key
+
+    def get_ckpt(self, key: str) -> bytes | None:
+        """Stored checkpoint blob for ``key``, or ``None`` (counted)."""
+        with self._lock:
+            row = self._db.execute(
+                "SELECT path FROM entries WHERE kind=? AND key=?", (_CKPT, key)
+            ).fetchone()
+            if row is None:
+                self._bump("ckpt_misses")
+                return None
+            path = self.root / row[0]
+            try:
+                blob = path.read_bytes()
+            except FileNotFoundError:
+                self._drop_entry(_CKPT, key)
+                self._bump("ckpt_misses")
+                return None
+            self._touch(_CKPT, key)
+            self._bump("ckpt_hits")
+            self._bump("bytes_read", len(blob))
+            return blob
+
+    def has_ckpt(self, key: str) -> bool:
+        """Index-only presence probe (no counters, no artifact read)."""
+        with self._lock:
+            return (
+                self._db.execute(
+                    "SELECT 1 FROM entries WHERE kind=? AND key=?", (_CKPT, key)
+                ).fetchone()
+                is not None
+            )
+
+    def delete_ckpt(self, key: str) -> bool:
+        """Remove one checkpoint blob; True if it existed."""
+        with self._lock:
+            row = self._db.execute(
+                "SELECT path FROM entries WHERE kind=? AND key=?", (_CKPT, key)
+            ).fetchone()
+            if row is None:
+                return False
+            (self.root / row[0]).unlink(missing_ok=True)
+            self._drop_entry(_CKPT, key)
+            return True
+
+    def ckpt_keys(self, prefix: str = "") -> list[str]:
+        """Stored checkpoint keys (optionally prefix-filtered), sorted."""
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT key FROM entries WHERE kind=? ORDER BY key ASC", (_CKPT,)
+            ).fetchall()
+        return [key for (key,) in rows if key.startswith(prefix)]
+
     # -- introspection -----------------------------------------------------
 
     def entries(self, kind: str | None = None) -> list[dict[str, Any]]:
@@ -523,17 +618,21 @@ class ExperimentStore:
             )
         result_count, result_bytes = per_kind.get(_RESULT, (0, 0))
         stream_count, stream_bytes = per_kind.get(_STREAM, (0, 0))
+        ckpt_count, ckpt_bytes = per_kind.get(_CKPT, (0, 0))
         return {
             "schema": STORE_SCHEMA,
             "root": str(self.root),
             "max_bytes": self.max_bytes,
             "result_entries": result_count,
             "stream_entries": stream_count,
-            "total_bytes": result_bytes + stream_bytes,
+            "ckpt_entries": ckpt_count,
+            "total_bytes": result_bytes + stream_bytes + ckpt_bytes,
             "result_hits": counters.get("result_hits", 0),
             "result_misses": counters.get("result_misses", 0),
             "stream_hits": counters.get("stream_hits", 0),
             "stream_misses": counters.get("stream_misses", 0),
+            "ckpt_hits": counters.get("ckpt_hits", 0),
+            "ckpt_misses": counters.get("ckpt_misses", 0),
             "evictions": counters.get("evictions", 0),
             "bytes_read": counters.get("bytes_read", 0),
             "bytes_written": counters.get("bytes_written", 0),
@@ -561,7 +660,7 @@ class ExperimentStore:
             # old ones: a *fresh* tmp file may belong to a concurrent
             # writer between its write and its atomic rename.
             now = time.time()
-            for subdir in ("results", "streams"):
+            for subdir in ("results", "streams", "ckpt"):
                 for stale in (self.root / subdir).glob(".*.tmp*"):
                     try:
                         if now - stale.stat().st_mtime >= _TMP_SWEEP_AGE_SECONDS:

@@ -1,0 +1,131 @@
+"""CheckpointManager over a real store: addressing, GC, bookmarks.
+
+Snapshots are content-addressed (equal state stores once), loads
+verify bytes against their address, continuations survive process
+boundaries and vanish gracefully when GC claims their blob, and
+pinning holds a blob against an eviction sweep.
+"""
+
+import pytest
+
+from repro.ckpt import CheckpointManager, ReplaySession
+from repro.errors import CkptError
+from repro.prefetch.factory import create_prefetcher
+from repro.run import MissStreamCache, Runner, RunSpec
+from repro.store import ExperimentStore
+
+SCALE = 0.02
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ExperimentStore(tmp_path / "store")
+
+
+@pytest.fixture
+def manager(store):
+    return CheckpointManager(store)
+
+
+def _snapshot(pages=(3, 7, 12, 3, 9)):
+    from repro.ckpt import snapshot_prefetcher
+
+    prefetcher = create_prefetcher("DP", rows=8)
+    for page in pages:
+        prefetcher.on_miss(0, page, -1, False)
+    return snapshot_prefetcher(prefetcher)
+
+
+class TestBlobs:
+    def test_save_load_round_trip(self, manager):
+        snap = _snapshot()
+        digest = manager.save(snap)
+        assert digest == snap.digest()
+        assert manager.load(digest) == snap
+
+    def test_identical_state_stores_once(self, manager, store):
+        assert manager.save(_snapshot()) == manager.save(_snapshot())
+        assert len(store.ckpt_keys()) == 1
+
+    def test_missing_digest_is_none(self, manager):
+        assert manager.load("0" * 24) is None
+
+    def test_misfiled_blob_fails_verification(self, manager, store):
+        blob = _snapshot().to_bytes()
+        store.put_ckpt("f" * 24, blob)  # filed under the wrong address
+        with pytest.raises(CkptError, match="content verification"):
+            manager.load("f" * 24)
+
+    def test_pin_survives_full_gc(self, manager, store):
+        digest = manager.save(_snapshot())
+        with manager.pinned(digest):
+            store.gc(max_bytes=0)
+            assert manager.load(digest) is not None
+        store.gc(max_bytes=0)
+        assert manager.load(digest) is None
+
+
+class TestContinuations:
+    def test_round_trip_and_clear(self, manager):
+        snap = _snapshot()
+        record = manager.save_continuation("spec-a", 1234, snap)
+        assert record["stream_offset"] == 1234
+        loaded_record, loaded_snap = manager.load_continuation("spec-a")
+        assert loaded_record == record
+        assert loaded_snap == snap
+        assert manager.clear_continuation("spec-a") is True
+        assert manager.load_continuation("spec-a") is None
+        assert manager.clear_continuation("spec-a") is False
+
+    def test_gc_lost_blob_means_no_continuation(self, manager, store):
+        manager.save_continuation("spec-a", 10, _snapshot())
+        record, _ = manager.load_continuation("spec-a")
+        store.delete_ckpt(record["state_digest"])
+        assert manager.load_continuation("spec-a") is None
+
+    def test_survives_a_fresh_manager(self, store, manager):
+        manager.save_continuation("spec-a", 7, _snapshot())
+        reopened = CheckpointManager(ExperimentStore(store.root))
+        record, snap = reopened.load_continuation("spec-a")
+        assert record["stream_offset"] == 7
+        assert snap == _snapshot()
+
+
+class TestSessions:
+    def test_record_round_trip(self, manager):
+        manager.save_session("s1", {"spec_key": "k", "stream_offset": 5})
+        assert manager.load_session("s1") == {
+            "spec_key": "k", "stream_offset": 5,
+        }
+        assert manager.session_ids() == ["s1"]
+        assert manager.delete_session("s1") is True
+        assert manager.load_session("s1") is None
+        assert manager.session_ids() == []
+
+    def test_session_ids_exclude_other_record_kinds(self, manager):
+        manager.save_session("s1", {"a": 1})
+        manager.save_session("s2", {"a": 2})
+        manager.save_continuation("spec-a", 0, _snapshot())
+        assert manager.session_ids() == ["s1", "s2"]
+
+
+def test_full_suspend_resume_through_the_manager(manager, tmp_path):
+    """The whole loop: advance, checkpoint, forget, restore, finish —
+    byte-identical to an uninterrupted session."""
+    runner = Runner(cache=MissStreamCache())
+    spec = RunSpec.of("galgel", "DP", scale=SCALE)
+    stream = runner.miss_stream_for(spec)
+
+    one_shot = ReplaySession(stream, spec.build_prefetcher())
+    one_shot.advance(None)
+
+    session = ReplaySession(stream, spec.build_prefetcher())
+    session.advance(session.total // 3)
+    digest = manager.save(session.snapshot())
+    del session  # the "process" dies here
+
+    restored = ReplaySession.resume(
+        manager.load(digest), stream, spec.build_prefetcher()
+    )
+    restored.advance(None)
+    assert restored.stats() == one_shot.stats()

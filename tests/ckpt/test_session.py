@@ -1,0 +1,121 @@
+"""ReplaySession unit contracts (bit-identity itself is proven by
+``tests/differential/test_warm_start.py``): progress accounting,
+advance edge cases, warm-instance baselines, and strict resume
+validation.
+"""
+
+import pytest
+
+from repro.ckpt import ReplaySession, SessionSnapshot
+from repro.errors import CkptError
+from repro.prefetch.factory import create_prefetcher
+from repro.run import MissStreamCache, Runner, RunSpec
+from repro.sim.two_phase import replay_prefetcher
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return Runner(cache=MissStreamCache()).miss_stream("galgel", scale=SCALE)
+
+
+def test_progress_accounting(stream):
+    session = ReplaySession(stream, create_prefetcher("DP", rows=64))
+    assert (session.offset, session.remaining) == (0, session.total)
+    assert not session.finished
+    assert session.advance(10) == 10
+    assert (session.offset, session.remaining) == (10, session.total - 10)
+    assert session.advance(None) == session.total - 10
+    assert session.finished
+    assert session.advance(5) == 0  # advancing a finished session is a no-op
+    assert session.advance(None) == 0
+
+
+def test_zero_advance_is_allowed(stream):
+    session = ReplaySession(stream, create_prefetcher("DP", rows=64))
+    assert session.advance(0) == 0
+
+
+def test_negative_advance_rejected(stream):
+    session = ReplaySession(stream, create_prefetcher("DP", rows=64))
+    with pytest.raises(CkptError, match="advance count"):
+        session.advance(-1)
+
+
+def test_finished_session_matches_reference(stream):
+    session = ReplaySession(stream, create_prefetcher("DP", rows=64))
+    session.advance(None)
+    assert session.stats() == replay_prefetcher(
+        stream, create_prefetcher("DP", rows=64)
+    )
+
+
+def test_warm_instance_reports_only_this_stream(stream):
+    """Counter baselines: a pre-trained mechanism's earlier activity
+    must not leak into this stream's statistics — a warm session
+    reports exactly what a warm reference replay reports."""
+    session_p = create_prefetcher("DP", rows=64)
+    reference_p = create_prefetcher("DP", rows=64)
+    replay_prefetcher(stream, session_p)
+    replay_prefetcher(stream, reference_p)
+    issued_before = session_p.prefetches_issued
+    assert issued_before > 0
+    warm_reference = replay_prefetcher(stream, reference_p)
+    session = ReplaySession(stream, session_p)
+    session.advance(None)
+    assert session.stats() == warm_reference
+    # The cumulative instance counter kept growing; the report did not.
+    assert session_p.prefetches_issued > session.stats().prefetches_issued
+
+
+def test_spec_like_knobs_are_honored(stream):
+    spec = RunSpec.of("galgel", "DP", scale=SCALE, buffer_entries=4,
+                      max_prefetches_per_miss=1)
+    session = ReplaySession(
+        stream,
+        spec.build_prefetcher(),
+        buffer_entries=spec.buffer_entries,
+        max_prefetches_per_miss=spec.max_prefetches_per_miss,
+    )
+    session.advance(None)
+    assert session.buffer.capacity == 4
+    one_shot = Runner(cache=MissStreamCache()).run([spec])[0]
+    assert session.stats().pb_hits == one_shot.pb_hits
+
+
+class TestResumeValidation:
+    def test_resume_rejects_non_session_snapshot(self, stream):
+        from repro.ckpt import snapshot_prefetcher
+
+        snap = snapshot_prefetcher(create_prefetcher("DP", rows=64))
+        with pytest.raises(CkptError, match="cannot resume"):
+            ReplaySession.resume(snap, stream, create_prefetcher("DP", rows=64))
+
+    def test_resume_rejects_offset_beyond_stream(self, stream):
+        session = ReplaySession(stream, create_prefetcher("DP", rows=64))
+        session.advance(5)
+        snap = session.snapshot()
+        truncated = SessionSnapshot(
+            offset=session.total + 1,
+            pb_hits_measured=snap.pb_hits_measured,
+            issued_before=snap.issued_before,
+            overhead_before=snap.overhead_before,
+            max_prefetches_per_miss=snap.max_prefetches_per_miss,
+            mechanism=snap.mechanism,
+            buffer=snap.buffer,
+        )
+        with pytest.raises(CkptError, match="offset"):
+            ReplaySession.resume(
+                truncated, stream, create_prefetcher("DP", rows=64)
+            )
+
+    def test_resume_carries_buffer_capacity_from_snapshot(self, stream):
+        session = ReplaySession(
+            stream, create_prefetcher("DP", rows=64), buffer_entries=4
+        )
+        session.advance(50)
+        resumed = ReplaySession.resume(
+            session.snapshot(), stream, create_prefetcher("DP", rows=64)
+        )
+        assert resumed.buffer.capacity == 4

@@ -23,9 +23,9 @@ class TestRun:
         assert "acc=" in out
         assert "misses=" in out
 
-    def test_unknown_app_raises(self):
-        with pytest.raises(KeyError):
-            main(["run", "--app", "nope", "--scale", "0.05"])
+    def test_unknown_app_reported_as_error(self, capsys):
+        assert main(["run", "--app", "nope", "--scale", "0.05"]) == 2
+        assert "error: " in capsys.readouterr().err
 
     def test_unknown_mechanism_rejected(self):
         with pytest.raises(SystemExit):
@@ -91,3 +91,58 @@ class TestReportCommand:
             ["report", "--out", out_path, "--scale", "0.05", "--no-figures"]
         ) == 0
         assert "report written" in capsys.readouterr().out
+
+
+class TestErrorReporting:
+    """Library validation errors become one ``error:`` line + exit 2,
+    never a traceback from deep inside dispatch."""
+
+    def test_unknown_engine_flag_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--app", "galgel", "--engine", "warp"])
+        err = capsys.readouterr().err
+        assert "invalid choice: 'warp'" in err
+        assert "auto" in err and "reference" in err and "fast" in err
+
+    def test_unknown_engine_in_specs_file_reported_helpfully(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        from repro.run import RunSpec
+
+        spec = RunSpec.of("galgel", "DP", scale=0.05).to_dict()
+        spec["engine"] = "warp"
+        path = tmp_path / "specs.json"
+        path.write_text(json.dumps([spec]))
+        assert main(
+            ["submit", "--url", "http://127.0.0.1:1", "--specs-file", str(path)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "unknown engine 'warp'" in err
+        assert "'auto', 'reference', 'fast'" in err
+
+    def test_unreachable_service_reported_not_raised(self, capsys, tmp_path):
+        assert main(
+            ["jobs", "status", "--url", "http://127.0.0.1:1",
+             "--request-timeout", "0.2"]
+        ) == 2
+        assert "error: service unreachable" in capsys.readouterr().err
+
+
+class TestRequestTimeoutFlag:
+    def test_default_and_override_parse(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        args = parser.parse_args(["jobs", "status", "--url", "http://x"])
+        assert args.request_timeout == 30.0
+        args = parser.parse_args(
+            ["figure7", "--service-url", "http://x", "--request-timeout", "5"]
+        )
+        assert args.request_timeout == 5.0
+        args = parser.parse_args(
+            ["worker", "--url", "http://x", "--request-timeout", "2.5"]
+        )
+        assert args.request_timeout == 2.5

@@ -63,23 +63,26 @@ class TestResolution:
         assert not supports(custom)
         assert resolve_engine(custom, "auto") == "reference"
 
-    def test_auto_falls_back_for_trained_instances(self, miss_trace):
+    def test_auto_keeps_fast_for_trained_instances(self, miss_trace):
+        """Warm-start: trained state no longer forces the reference
+        engine — the fast engine restores it into its own tables."""
         prefetcher = create_prefetcher("DP", rows=64)
         replay_prefetcher(miss_trace, prefetcher)
         assert not is_fresh(prefetcher)
-        assert not fast_preferred(prefetcher)
-        assert resolve_engine(prefetcher, "auto") == "reference"
+        assert fast_preferred(prefetcher)
+        assert resolve_engine(prefetcher, "auto") == "fast"
 
-    def test_history_only_state_is_not_fresh(self):
+    def test_history_only_state_stays_on_fast_path(self):
         """One miss leaves DP's table empty and counters at zero, but
-        its distance history is trained — auto must not pick fast."""
+        its distance history is trained — the fast engine seeds that
+        history too, so auto keeps the fast path."""
         prefetcher = create_prefetcher("DP", rows=64)
         prefetcher.on_miss(0, 100, -1, False)
         assert prefetcher.prefetches_issued == 0
         assert len(prefetcher.table) == 0
         assert prefetcher.has_prediction_state()
         assert not is_fresh(prefetcher)
-        assert resolve_engine(prefetcher, "auto") == "reference"
+        assert resolve_engine(prefetcher, "auto") == "fast"
 
     def test_flush_restores_freshness_for_on_chip_state(self):
         """flush() drops on-chip state, so a flushed mechanism is fresh
@@ -97,22 +100,41 @@ class TestResolution:
         recency.reset_stats()
         assert not is_fresh(recency)
 
-    def test_forced_fast_rejects_trained_instances(self, miss_trace):
-        prefetcher = create_prefetcher("DP", rows=64)
-        replay_prefetcher(miss_trace, prefetcher)
-        with pytest.raises(ConfigurationError, match="fresh state"):
-            replay_fast(miss_trace, prefetcher)
+    def test_forced_fast_continues_trained_instances(self, miss_trace):
+        """A second replay on a trained instance matches the reference
+        engine run for run: same stats, same canonical state."""
+        from repro.ckpt import snapshot_prefetcher
+
+        fast_p = create_prefetcher("DP", rows=64)
+        ref_p = create_prefetcher("DP", rows=64)
+        replay_prefetcher(miss_trace, fast_p)
+        replay_prefetcher(miss_trace, ref_p)
+        again_fast = replay_fast(miss_trace, fast_p)
+        again_ref = replay_prefetcher(miss_trace, ref_p)
+        assert again_fast == again_ref
+        assert (
+            snapshot_prefetcher(fast_p).digest()
+            == snapshot_prefetcher(ref_p).digest()
+        )
 
     def test_forced_fast_rejects_unsupported_mechanism(self, miss_trace):
         with pytest.raises(ConfigurationError, match="no replay loop"):
             replay_fast(miss_trace, _CustomPrefetcher())
 
-    def test_fast_engine_does_not_mutate_the_instance(self, miss_trace):
-        prefetcher = create_prefetcher("DP", rows=64)
-        replay_fast(miss_trace, prefetcher)
-        assert prefetcher.prefetches_issued == 0
-        assert len(prefetcher.table) == 0
-        assert is_fresh(prefetcher)
+    def test_fast_engine_trains_the_instance_like_reference(self, miss_trace):
+        from repro.ckpt import snapshot_prefetcher
+
+        fast_p = create_prefetcher("DP", rows=64)
+        ref_p = create_prefetcher("DP", rows=64)
+        replay_fast(miss_trace, fast_p)
+        replay_prefetcher(miss_trace, ref_p)
+        assert fast_p.prefetches_issued == ref_p.prefetches_issued
+        assert len(fast_p.table) == len(ref_p.table)
+        assert not is_fresh(fast_p)
+        assert (
+            snapshot_prefetcher(fast_p).digest()
+            == snapshot_prefetcher(ref_p).digest()
+        )
 
     def test_replay_dispatch_matches_both_engines(self, miss_trace):
         via_engine = replay(miss_trace, create_prefetcher("DP"), engine="reference")
