@@ -3,11 +3,14 @@
 
 Times a representative batch (a handful of workloads x the full
 Figure 7 mechanism legend) through the unified :class:`repro.Runner`
-on *both* replay engines — the authoritative reference engine and the
-vectorized fast path (:mod:`repro.sim.fastpath`) — verifies their rows
-are bit-identical, and emits a machine-readable JSON record with the
-wall-clock speedup. CI tracks this record (``BENCH_smoke.json``) to
-watch the execution path's performance trajectory over time.
+on *all three* replay engines — the authoritative reference engine,
+the vectorized per-spec fast path (:mod:`repro.sim.fastpath`), and
+the one-pass multi-mechanism batch engine (:mod:`repro.sim.batchpath`)
+— verifies their rows are bit-identical, and emits a machine-readable
+JSON record with the wall-clock speedups (``specs_per_second``,
+``batch_specs_per_second``, ``batch_identical``). CI tracks this
+record (``BENCH_smoke.json``) to watch the execution path's
+performance trajectory over time.
 
 Run:  PYTHONPATH=src python benchmarks/smoke.py --out BENCH_smoke.json
 """
@@ -197,7 +200,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--repeats",
         type=int,
-        default=3,
+        default=5,
         help="timed repetitions per engine; the fastest is recorded "
         "(noise-robust: scheduler interference only ever slows a run down)",
     )
@@ -233,10 +236,11 @@ def main(argv: list[str] | None = None) -> int:
     filters = cache.misses
 
     # Interleave the repetitions so slow drifts in machine load hit
-    # both engines alike; keep each engine's fastest wall-clock.
+    # every engine alike; keep each engine's fastest wall-clock.
     reference_specs = [spec.derive(engine="reference") for spec in specs]
-    reference_elapsed = elapsed = float("inf")
-    reference = results = None
+    batch_specs = [spec.derive(engine="batch") for spec in specs]
+    reference_elapsed = elapsed = batch_elapsed = float("inf")
+    reference = results = batch_results = None
     for _ in range(max(1, args.repeats)):
         started = time.perf_counter()
         reference = runner.run(reference_specs)
@@ -246,8 +250,20 @@ def main(argv: list[str] | None = None) -> int:
         results = runner.run(specs)
         elapsed = min(elapsed, time.perf_counter() - started)
 
+        # The one-pass batch engine: same specs, every stream group
+        # replayed in a single fused loop (repro.sim.batchpath). Its
+        # window is several times shorter than the others, so a burst
+        # of scheduler noise distorts it proportionally more — take
+        # three samples per repetition to keep the min estimate tight.
+        for _ in range(3):
+            started = time.perf_counter()
+            batch_results = runner.run(batch_specs)
+            batch_elapsed = min(batch_elapsed, time.perf_counter() - started)
+
     engines_identical = results.to_json() == reference.to_json()
+    batch_identical = batch_results.to_json() == reference.to_json()
     speedup = reference_elapsed / elapsed if elapsed else 0.0
+    batch_speedup = elapsed / batch_elapsed if batch_elapsed else 0.0
 
     # The parallel run is a Runner check, not an engine comparison: it
     # filters inside the worker processes, so its wall-clock includes
@@ -342,6 +358,12 @@ def main(argv: list[str] | None = None) -> int:
         "engines_identical": engines_identical,
         "parallel_identical": parallel_identical,
         "specs_per_second": round(len(specs) / elapsed, 2) if elapsed else 0.0,
+        "batch_elapsed_seconds": round(batch_elapsed, 4),
+        "batch_speedup_vs_fast": round(batch_speedup, 2),
+        "batch_identical": batch_identical,
+        "batch_specs_per_second": round(len(specs) / batch_elapsed, 2)
+        if batch_elapsed
+        else 0.0,
         "stream_cache_hits": cache.hits,
         "store_cold_seconds": round(store_cold_elapsed, 4),
         "store_warm_seconds": round(store_warm_elapsed, 4),
@@ -373,6 +395,12 @@ def main(argv: list[str] | None = None) -> int:
         f"({record['specs_per_second']} specs/s, {filters} TLB filters) -> {out}"
     )
     print(
+        f"[smoke] batch: {batch_elapsed:.2f}s "
+        f"({record['batch_specs_per_second']} specs/s, "
+        f"{batch_speedup:.2f}x vs per-spec {args.engine}) "
+        f"bit-identical={batch_identical}"
+    )
+    print(
         f"[smoke] store: cold {store_cold_elapsed:.2f}s "
         f"(+{store_cold_overhead * 100:.1f}% write-back overhead) -> warm "
         f"{store_warm_elapsed:.2f}s, {store_warm_speedup:.0f}x, "
@@ -397,6 +425,9 @@ def main(argv: list[str] | None = None) -> int:
         )
     if not engines_identical:
         print("[smoke] ERROR: engines diverged — fast path is not bit-identical")
+        return 1
+    if not batch_identical:
+        print("[smoke] ERROR: batch engine diverged — one-pass replay is not bit-identical")
         return 1
     if distributed["distributed_identical"] is False:
         print("[smoke] ERROR: distributed sweep diverged from serial execution")

@@ -208,6 +208,9 @@ def restore_table(snap: TableSnapshot, table: PredictionTable, decode) -> None:
                     f"{index}, maps to set {key % table.num_sets}"
                 )
             table_set[key] = decode(payload)
+    # The sets were filled behind the table's back; re-derive its O(1)
+    # occupancy counter from what the snapshot installed.
+    table._occupied = sum(len(s) for s in table._sets)
     table.lookups = 0
     table.tag_hits = 0
     table.row_evictions = 0

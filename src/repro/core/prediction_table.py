@@ -106,6 +106,10 @@ class PredictionTable(Generic[PayloadT]):
         self._sets: list[OrderedDict[int, PayloadT]] = [
             OrderedDict() for _ in range(self.num_sets)
         ]
+        # Maintained incrementally so ``len(table)`` — and through it
+        # every freshness probe — is O(1) instead of a sum over what
+        # can be a thousand sets.
+        self._occupied = 0
         self.lookups = 0
         self.tag_hits = 0
         self.row_evictions = 0
@@ -154,6 +158,8 @@ class PredictionTable(Generic[PayloadT]):
         elif len(table_set) >= self.ways:
             evicted, _ = table_set.popitem(last=False)
             self.row_evictions += 1
+        else:
+            self._occupied += 1
         table_set[key] = payload
         return evicted
 
@@ -176,7 +182,7 @@ class PredictionTable(Generic[PayloadT]):
         return key in self._sets[key % self.num_sets]
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return self._occupied
 
     def items(self) -> Iterator[tuple[int, PayloadT]]:
         """All ``(key, payload)`` pairs (set order; LRU first per set)."""
@@ -188,6 +194,7 @@ class PredictionTable(Generic[PayloadT]):
         dropped = len(self)
         for table_set in self._sets:
             table_set.clear()
+        self._occupied = 0
         return dropped
 
     def __repr__(self) -> str:

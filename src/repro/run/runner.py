@@ -47,8 +47,9 @@ from repro.store.store import (
     stream_digest_for_spec,
     stream_digest_for_trace,
 )
+from repro.sim import batchpath
 from repro.sim.config import TLBConfig
-from repro.sim.engine import replay as engine_replay
+from repro.sim.engine import batch_available, replay as engine_replay
 from repro.sim.stats import PrefetchRunStats
 from repro.sim.sweep import rescale_trace
 from repro.sim.two_phase import filter_tlb
@@ -64,11 +65,21 @@ class MissStreamCache:
     ``workers>1`` filtering happens inside the worker processes — one
     filter per stream group there — and this cache is not consulted.)
 
-    Thread-safe: a lock guards every access, and it is held *across* a
-    miss's ``build()`` so concurrent requests for the same stream (the
-    HTTP service shares one cache between handler threads) build it
-    once instead of racing.
+    Thread-safe: a short-held lock guards the entry table and the
+    counters, while ``build()`` runs under a *per-key* build lock
+    (striped over a fixed pool). Concurrent requests for the same
+    stream (the HTTP service shares one cache between handler threads)
+    still build it exactly once — the second request blocks on the
+    key's stripe and then finds the entry — but requests for *other*
+    keys are no longer serialized behind one slow build, which used to
+    stall every handler thread for the duration of a TLB filter.
     """
+
+    #: Number of striped build locks. Distinct keys that hash to the
+    #: same stripe still serialize their builds (a bounded-memory
+    #: tradeoff); same-key requests always share a stripe, which is
+    #: what makes the build-once guarantee hold.
+    BUILD_LOCK_STRIPES = 16
 
     def __init__(self, maxsize: int = 128) -> None:
         if maxsize <= 0:
@@ -78,22 +89,40 @@ class MissStreamCache:
         self.misses = 0
         self.evictions = 0
         self._lock = threading.RLock()
+        self._build_locks = [
+            threading.Lock() for _ in range(self.BUILD_LOCK_STRIPES)
+        ]
         self._entries: OrderedDict[tuple, MissTrace] = OrderedDict()
+
+    def _lookup(self, key: tuple) -> MissTrace | None:
+        """Hit path under the table lock: promote, count, return."""
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        return cached
 
     def get_or_build(self, key: tuple, build: Callable[[], MissTrace]) -> MissTrace:
         """Return the cached stream for ``key``, building it on miss."""
         with self._lock:
-            cached = self._entries.get(key)
+            cached = self._lookup(key)
             if cached is not None:
-                self._entries.move_to_end(key)
-                self.hits += 1
                 return cached
-            self.misses += 1
+        stripe = self._build_locks[hash(key) % self.BUILD_LOCK_STRIPES]
+        with stripe:
+            with self._lock:
+                # Double-check: a same-stripe builder may have finished
+                # this key while we waited for the stripe.
+                cached = self._lookup(key)
+                if cached is not None:
+                    return cached
+                self.misses += 1
             built = build()
-            self._entries[key] = built
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+            with self._lock:
+                self._entries[key] = built
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
             return built
 
     def stats(self) -> dict[str, int]:
@@ -177,10 +206,12 @@ def _run_group(specs: tuple[RunSpec, ...]) -> list[PrefetchRunStats]:
 
     All specs in a group share a stream key, so the group costs one
     TLB filter in this worker (already-warm caches inherited via
-    ``fork`` make it free).
+    ``fork`` make it free). The group goes through the same serial
+    path as in-process execution, so batch-eligible specs take the
+    one-pass loop inside the worker too.
     """
     runner = Runner()
-    return [runner.run_one(spec) for spec in specs]
+    return runner._run_serial(list(specs))
 
 
 class Runner:
@@ -424,7 +455,67 @@ class Runner:
             and len(spec_list) > 1
         ):
             return self._run_parallel(spec_list)
-        return [self.run_one(spec) for spec in spec_list]
+        return self._run_serial(spec_list)
+
+    def _run_serial(self, spec_list: list[RunSpec]) -> list[PrefetchRunStats]:
+        """In-process execution with one-pass batching of stream groups.
+
+        Specs are grouped by stream key; within a group, every spec
+        whose engine allows it (``"auto"`` or ``"batch"``) and whose
+        mechanism the batch loop supports is replayed in a *single*
+        pass over the shared miss stream
+        (:func:`repro.sim.batchpath.replay_batch`). ``"auto"`` only
+        batches groups of two or more such specs (a singleton has
+        nothing to amortize and takes the fast engine); ``"batch"``
+        forces the one-pass loop even for a group of one. Everything
+        else — ``"reference"``/``"fast"`` specs, mechanisms without a
+        batch loop — runs per-spec exactly as before, and checkpointed
+        runs are never batched (the batch loop is not suspendable).
+
+        The miss-stream cache is still consulted once per spec, so the
+        hit/miss counter contract is identical to per-spec execution,
+        and rows are bit-identical by the differential harness.
+        """
+        if self.checkpoint_every or (
+            len(spec_list) < 2
+            and not any(spec.engine == "batch" for spec in spec_list)
+        ):
+            # Nothing to group — unless a spec *forces* the batch loop.
+            return [self.run_one(spec) for spec in spec_list]
+        results: list[PrefetchRunStats | None] = [None] * len(spec_list)
+        groups: OrderedDict[tuple, list[int]] = OrderedDict()
+        for index, spec in enumerate(spec_list):
+            groups.setdefault(spec.stream_key(), []).append(index)
+        for indices in groups.values():
+            batchable: list[tuple[int, RunSpec, object]] = []
+            for index in indices:
+                spec = spec_list[index]
+                if spec.engine in ("auto", "batch"):
+                    prefetcher = spec.build_prefetcher()
+                    if batch_available(prefetcher):
+                        batchable.append((index, spec, prefetcher))
+                        continue
+                results[index] = self.run_one(spec)
+            if not batchable:
+                continue
+            forced = any(spec.engine == "batch" for _, spec, _ in batchable)
+            if len(batchable) < 2 and not forced:
+                for index, spec, _ in batchable:
+                    results[index] = self.run_one(spec)
+                continue
+            miss_trace = None
+            for _, spec, _ in batchable:
+                miss_trace = self.miss_stream_for(spec)
+            stats = batchpath.replay_batch(
+                miss_trace,
+                [
+                    (p, spec.buffer_entries, spec.max_prefetches_per_miss)
+                    for _, spec, p in batchable
+                ],
+            )
+            for (index, spec, _), row in zip(batchable, stats):
+                results[index] = annotate_stats(row, spec)
+        return results  # type: ignore[return-value]
 
     def _run_with_store(self, spec_list: list[RunSpec]) -> ResultSet:
         by_key: OrderedDict[str, list[int]] = OrderedDict()

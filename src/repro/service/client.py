@@ -73,6 +73,10 @@ class ServiceClient:
         self.retry_backoff = retry_backoff
         #: Total transient-failure retries this client has performed.
         self.retries = 0
+        # Private jitter source: drawing from the module-global RNG
+        # would perturb the seeded stream of any host process (the
+        # differential harness and hypothesis suites seed it).
+        self._rng = random.Random()
 
     def request(
         self,
@@ -123,7 +127,7 @@ class ServiceClient:
                         0, None, f"service unreachable at {self.base_url}: {exc}"
                     ) from exc
                 delay = self.retry_backoff * (2 ** attempt)
-                delay += random.uniform(0.0, self.retry_backoff)
+                delay += self._rng.uniform(0.0, self.retry_backoff)
                 attempt += 1
                 self.retries += 1
                 time.sleep(delay)

@@ -1,0 +1,1347 @@
+"""One-pass multi-mechanism batch replay: N configs, one stream scan.
+
+A sweep replays the same read-only miss stream once per mechanism
+configuration — 84 specs over 4 streams in the smoke bench — so the
+dominant cost is re-scanning identical streams. This module compiles
+every requested config that shares a stream into **one specialized
+Python loop** that advances all of their tables in a single pass,
+reusing :mod:`repro.sim.fastpath`'s kernels per slot: flat parallel
+arrays for direct-mapped tables, per-set insertion-ordered dicts
+(first key = LRU) for other associativities, an insertion-ordered-dict
+prefetch buffer with a local population counter, and plain integer
+statistics counters.
+
+Two exact optimizations make the batch engine more than a fused loop:
+
+1. **Equivalence-class deduplication.** A prediction table's content
+   trajectory depends only on its key stream (pages for MP, distances
+   for DP, PCs for ASP, packed keys for DP-PC/DP-2) and its key→set
+   mapping. Before running, the batch planner analyzes the stream's
+   key universe and proves two sufficient conditions:
+
+   - *Never-overflow*: if no set ever holds more distinct keys than it
+     has ways, LRU eviction can never fire, so the table behaves
+     exactly like an unbounded per-key dict — independent of geometry.
+     Every such config is bit-identical to every other one (same
+     family, slots, buffer, clamp), so one simulation serves all.
+   - *Same-partition*: two geometries that induce the same partition
+     of the key universe into sets, with equal ways, perform the same
+     set operations in the same order and are bit-identical.
+
+   Slots proven equivalent share one simulation and one counter set;
+   each still reports its own mechanism label.
+
+2. **Constant-inlined code generation.** The fused loop is generated
+   as source text with every per-slot constant (rows, ways, slots,
+   buffer capacity, clamp, warm-up boundary, degrees) inlined as a
+   literal, then ``compile()``d once and memoized by its shape — so a
+   sweep's second stream reuses the first's code object. Never-
+   overflow tables are emitted as single plain dicts with no set
+   indexing, no LRU promotion and no eviction branch at all.
+
+The contract is the same as the fast engine's: **bit-identical
+statistics** to :func:`repro.sim.two_phase.replay_prefetcher`,
+enforced by ``tests/differential/`` (curated grid + fuzzing) and the
+golden files. Unlike :func:`repro.sim.fastpath.replay_fast`, the batch
+engine replays *freshly built* mechanisms only and does not write
+state back into the instances: it exists for :class:`~repro.run.Runner`
+batches, where every spec builds a throwaway mechanism. Warm (trained)
+instances are rejected here and take the per-spec engines instead —
+`engine.replay` falls back for them.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.core.distance import DistancePrefetcher
+from repro.core.distance_pair import DistancePairPrefetcher, pack_distance_pair
+from repro.core.pc_distance import PCDistancePrefetcher, pack_pc_distance
+from repro.errors import ConfigurationError
+from repro.mem.trace import MissTrace
+from repro.prefetch.adaptive_sequential import AdaptiveSequentialPrefetcher
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.markov import MarkovPrefetcher
+from repro.prefetch.null import NullPrefetcher
+from repro.prefetch.recency import RecencyPrefetcher
+from repro.prefetch.sequential import SequentialPrefetcher
+from repro.prefetch.stride import ArbitraryStridePrefetcher
+from repro.sim import fastpath
+from repro.sim.fastpath import compile_stream
+
+#: Families with a table whose key universe the planner can analyze.
+_TABLE_FAMILIES = ("stride", "markov", "distance", "pcdist", "distpair")
+
+
+def supports(prefetcher: Prefetcher) -> bool:
+    """True when the batch engine has a loop for this mechanism.
+
+    The batch engine covers exactly the fast engine's mechanism set
+    (dispatch is on exact type — subclasses take the reference engine).
+    """
+    return fastpath.supports(prefetcher)
+
+
+class _SlotPlan:
+    """One requested replay: mechanism config + buffer geometry."""
+
+    __slots__ = ("label", "family", "config", "cap", "clamp")
+
+    def __init__(self, label, family, config, cap, clamp):
+        self.label = label
+        self.family = family
+        self.config = config
+        self.cap = cap
+        self.clamp = clamp
+
+
+def _plan(prefetcher: Prefetcher, cap: int, clamp: int) -> _SlotPlan:
+    if not fastpath.supports(prefetcher):
+        raise ConfigurationError(
+            f"batch engine has no replay loop for {type(prefetcher).__name__}; "
+            "use engine='reference'"
+        )
+    if not fastpath.is_fresh(prefetcher):
+        raise ConfigurationError(
+            "batch engine replays freshly built mechanisms only; warm "
+            "instances take the per-spec engines (engine='auto'/'fast')"
+        )
+    kind = type(prefetcher)
+    label = prefetcher.label
+    if kind is NullPrefetcher:
+        return _SlotPlan(label, "none", (), cap, clamp)
+    if kind is SequentialPrefetcher:
+        return _SlotPlan(label, "seq", (prefetcher.degree,), cap, clamp)
+    if kind is AdaptiveSequentialPrefetcher:
+        return _SlotPlan(
+            label,
+            "aseq",
+            (
+                prefetcher.max_degree,
+                prefetcher.window,
+                prefetcher.raise_above,
+                prefetcher.lower_below,
+            ),
+            cap,
+            clamp,
+        )
+    if kind is RecencyPrefetcher:
+        return _SlotPlan(label, "recency", (prefetcher.variant_three,), cap, clamp)
+    table = prefetcher.table
+    if kind is ArbitraryStridePrefetcher:
+        return _SlotPlan(label, "stride", (table.rows, table.ways), cap, clamp)
+    slots = prefetcher.slots
+    family = {
+        MarkovPrefetcher: "markov",
+        DistancePrefetcher: "distance",
+        PCDistancePrefetcher: "pcdist",
+        DistancePairPrefetcher: "distpair",
+    }[kind]
+    return _SlotPlan(label, family, (table.rows, table.ways, slots), cap, clamp)
+
+
+# ---------------------------------------------------------------------------
+# Equivalence analysis: prove table configs interchangeable on this stream.
+# ---------------------------------------------------------------------------
+
+
+def _table_class(unique_keys: list[int], rows: int, ways: int) -> tuple:
+    """Canonical equivalence class of a ``(rows, ways)`` table on a stream.
+
+    ``unique_keys`` is the stream's key universe in first-occurrence
+    order. Returns ``("inf",)`` when no set can ever overflow (the
+    table is equivalent to an unbounded per-key dict, hence to every
+    other never-overflow geometry), else ``("assoc", ways, labels)``
+    where ``labels`` is the canonical first-occurrence numbering of the
+    key→set partition — equal labels + equal ways ⇒ identical behavior.
+    """
+    num_sets = rows // ways
+    counts: dict[int, int] = {}
+    overflow = False
+    for key in unique_keys:
+        bucket = key % num_sets
+        grown = counts.get(bucket, 0) + 1
+        if grown > ways:
+            overflow = True
+            break
+        counts[bucket] = grown
+    if not overflow:
+        return ("inf",)
+    labels: dict[int, int] = {}
+    out = []
+    for key in unique_keys:
+        bucket = key % num_sets
+        label = labels.get(bucket)
+        if label is None:
+            label = len(labels)
+            labels[bucket] = label
+        out.append(label)
+    return ("assoc", ways, tuple(out))
+
+
+class _StreamKeys:
+    """Lazily computed, memoized key universes of one miss stream."""
+
+    def __init__(self, pcs: list[int], pages: list[int]) -> None:
+        self._pcs = pcs
+        self._pages = pages
+        self._distances: list[int] | None = None
+        self._cache: dict[str, list[int]] = {}
+        self._stream_len: dict[str, int] = {}
+
+    def distances(self) -> list[int]:
+        if self._distances is None:
+            pages = self._pages
+            self._distances = [
+                pages[i] - pages[i - 1] for i in range(1, len(pages))
+            ]
+        return self._distances
+
+    def universe(self, family: str) -> list[int]:
+        cached = self._cache.get(family)
+        if cached is not None:
+            return cached
+        if family == "stride":
+            keys = self._pcs
+        elif family == "markov":
+            keys = self._pages
+        elif family == "distance":
+            keys = self.distances()
+        elif family == "pcdist":
+            pcs, pages = self._pcs, self._pages
+            keys = [
+                pack_pc_distance(pcs[i], pages[i] - pages[i - 1])
+                for i in range(1, len(pages))
+            ]
+        else:  # distpair
+            dist = self.distances()
+            keys = [
+                pack_distance_pair(dist[i - 1], dist[i])
+                for i in range(1, len(dist))
+            ]
+        unique = list(dict.fromkeys(keys))
+        self._cache[family] = unique
+        self._stream_len[family] = len(keys)
+        return unique
+
+    def never_hits(self, family: str) -> bool:
+        """True when ``family``'s key stream never repeats a key.
+
+        Every table lookup then tag-misses (a key is only ever in the
+        table once a *prior* lookup or successor update allocated it),
+        so the mechanism issues zero prefetches for *any* geometry,
+        slot count, buffer size, or clamp — all such slots collapse
+        into one all-zero class that costs nothing to simulate.
+        """
+        unique = self.universe(family)
+        return len(unique) == self._stream_len[family]
+
+
+def _sigs(plan: _SlotPlan, keys: _StreamKeys) -> tuple[tuple, tuple]:
+    """(dedup signature, emission signature) for one slot.
+
+    Slots with equal dedup signatures are bit-identical on this stream
+    and share one simulation. The emission signature is what the code
+    generator needs: for never-overflow tables the geometry collapses
+    to ``None`` (emitted as one plain dict), otherwise the class
+    representative's concrete ``(rows, ways)`` is kept.
+    """
+    if plan.family in _TABLE_FAMILIES:
+        if keys.never_hits(plan.family):
+            # No repeated key -> no tag hit -> no prefetch, ever. One
+            # zero-cost class regardless of geometry/slots/cap/clamp.
+            return ("zero",), ("zero",)
+        rows, ways = plan.config[0], plan.config[1]
+        rest = plan.config[2:]
+        tclass = _table_class(keys.universe(plan.family), rows, ways)
+        geom = None if tclass == ("inf",) else (rows, ways)
+        dedup = (plan.family, rest, tclass, plan.cap, plan.clamp)
+        emit = (plan.family, rest, geom, plan.cap, plan.clamp)
+        return dedup, emit
+    if plan.family == "none":
+        # Null never buffers or issues: every slot is one zero row.
+        return ("none",), ("none",)
+    sig = (plan.family, plan.config, plan.cap, plan.clamp)
+    return sig, sig
+
+
+# ---------------------------------------------------------------------------
+# Code generation: one fused loop, constants inlined, names mangled by
+# class index. Templates use @K@/@CONST@ markers substituted with plain
+# str.replace (no str.format — the code itself is full of braces and
+# modulo operators), and @PROBE@/@INSERT:var@/@PREFETCH@ marker lines
+# spliced with the shared buffer blocks at the marker's indentation.
+# ---------------------------------------------------------------------------
+
+
+def _probe_lines(pad: str, k: str, var: str, warmup: int) -> list[str]:
+    """Buffer probe: remove on hit, count after warm-up.
+
+    Buffer values are always ``None``, so one ``pop`` with a non-None
+    default replaces the ``in`` + ``del`` double hash lookup.
+    """
+    lines = [
+        f"{pad}if bp{k}({var}, 0) is None:",
+        f"{pad}    bn{k} -= 1",
+    ]
+    if warmup:
+        lines += [
+            f"{pad}    if index >= {warmup}:",
+            f"{pad}        pb{k} += 1",
+        ]
+    else:
+        lines.append(f"{pad}    pb{k} += 1")
+    return lines
+
+
+def _insert_lines(pad: str, k: str, var: str, cap: int) -> list[str]:
+    """Buffer install: refresh-on-duplicate, evict-LRU accounting."""
+    return [
+        f"{pad}if bp{k}({var}, 0) is None:",
+        f"{pad}    buf{k}[{var}] = None",
+        f"{pad}    rf{k} += 1",
+        f"{pad}else:",
+        f"{pad}    if bn{k} >= {cap}:",
+        f"{pad}        del buf{k}[next(iter(buf{k}))]",
+        f"{pad}        ev{k} += 1",
+        f"{pad}    else:",
+        f"{pad}        bn{k} += 1",
+        f"{pad}    buf{k}[{var}] = None",
+        f"{pad}    ins{k} += 1",
+    ]
+
+
+def _prefetch_lines(pad: str, k: str, cap: int, clamp: int) -> list[str]:
+    """Clamp the materialized pf{k} list and install every target."""
+    lines = [f"{pad}if pf{k}:"]
+    if clamp:
+        lines += [
+            f"{pad}    if len(pf{k}) > {clamp}:",
+            f"{pad}        pf{k} = pf{k}[:{clamp}]",
+        ]
+    lines.append(f"{pad}    for tg{k} in pf{k}:")
+    lines.extend(_insert_lines(pad + "        ", k, f"tg{k}", cap))
+    return lines
+
+
+def _render(out: list[str], template: str, base: str, k: str, subs: dict,
+            warmup: int, cap: int, clamp: int, probe_var: str | None = None):
+    """Splice a body template into ``out`` at indentation ``base``."""
+    text = template.replace("@K@", k)
+    for marker, value in subs.items():
+        text = text.replace(marker, str(value))
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if not stripped:
+            continue
+        pad = base + raw[: len(raw) - len(raw.lstrip())]
+        if stripped == "@PROBE@":
+            out.extend(_probe_lines(pad, k, probe_var or "page", warmup))
+        elif stripped.startswith("@INSERT:"):
+            var = stripped[len("@INSERT:"):-1].replace("@K@", k)
+            out.extend(_insert_lines(pad, k, var, cap))
+        elif stripped == "@PREFETCH@":
+            out.extend(_prefetch_lines(pad, k, cap, clamp))
+        else:
+            out.append(pad + stripped if not raw.startswith(" ") else pad + raw.lstrip())
+
+
+_SEQ_BODY = """\
+@PROBE@
+iss@K@ += @DEGREE@
+"""
+
+_ASEQ_BODY = """\
+hit@K@ = bp@K@(page, 0) is None
+if hit@K@:
+    bn@K@ -= 1
+@HIT_COUNT@
+wm@K@ += 1
+wh@K@ += hit@K@
+if wm@K@ >= @WINDOW@:
+    hr@K@ = wh@K@ / wm@K@
+    if hr@K@ > @RAISE@:
+        deg@K@ = min(deg@K@ * 2, @MAXD@)
+    elif hr@K@ < @LOWER@:
+        deg@K@ = max(deg@K@ // 2, 1)
+    wm@K@ = 0
+    wh@K@ = 0
+iss@K@ += deg@K@
+for of@K@ in range(1, @EFF@ + 1):
+    t@K@ = page + of@K@
+    @INSERT:t@K@@
+"""
+
+_STRIDE_FSM = """\
+ns@K@ = page - @PREV@
+un@K@ = ns@K@ == @STRIDE@
+s@K@ = @STATE@
+if s@K@ == 0:
+    if un@K@:
+        @SET_STATE@ = 2
+    else:
+        @SET_STATE@ = 1
+        @SET_STRIDE@ = ns@K@
+elif s@K@ == 1:
+    if un@K@:
+        @SET_STATE@ = 2
+    else:
+        @SET_STATE@ = 3
+        @SET_STRIDE@ = ns@K@
+elif s@K@ == 2:
+    if not un@K@:
+        @SET_STATE@ = 0
+else:
+    if un@K@:
+        @SET_STATE@ = 1
+    else:
+        @SET_STRIDE@ = ns@K@
+@SET_PREV@ = page
+if @STATE@ == 2:
+    sv@K@ = @STRIDE@
+    if sv@K@:
+        t@K@ = page + sv@K@
+        if t@K@ >= 0:
+            iss@K@ += 1
+            @INSERT:t@K@@
+"""
+
+_SUCCESSOR_UPDATE = """\
+if not sc@K@ or sc@K@[0] != @VALUE@:
+    if @VALUE@ in sc@K@:
+        sc@K@.remove(@VALUE@)
+    sc@K@.insert(0, @VALUE@)
+    if len(sc@K@) > @SLOTS@:
+        sc@K@.pop()
+"""
+
+# Specialized MRU updates for tiny slot counts (the paper's common
+# cases). For 2 slots, "move/insert @VALUE@ to the front and truncate"
+# always ends as [@VALUE@, old_front] when 2 entries exist — whether
+# @VALUE@ was at index 1 or absent — so the scan/remove/insert/pop
+# sequence collapses to two subscript stores.
+_SUCCESSOR_UPDATE_1 = """\
+if not sc@K@:
+    sc@K@.append(@VALUE@)
+elif sc@K@[0] != @VALUE@:
+    sc@K@[0] = @VALUE@
+"""
+
+_SUCCESSOR_UPDATE_2 = """\
+if not sc@K@:
+    sc@K@.append(@VALUE@)
+elif sc@K@[0] != @VALUE@:
+    if len(sc@K@) == 2:
+        sc@K@[1] = sc@K@[0]
+        sc@K@[0] = @VALUE@
+    else:
+        sc@K@.insert(0, @VALUE@)
+"""
+
+
+def _successor_update(slots: int) -> str:
+    """Pick the MRU-update template for a slot count."""
+    if slots == 1:
+        return _SUCCESSOR_UPDATE_1
+    if slots == 2:
+        return _SUCCESSOR_UPDATE_2
+    return _SUCCESSOR_UPDATE.replace("@SLOTS@", str(slots))
+
+
+def _emit_none(k, plan, warmup):
+    return [], {}, "(0, 0, 0, 0, 0, 0)"
+
+
+def _mod(expr: str, n: int) -> str:
+    """Row-index expression; ``&`` for power-of-two table sizes.
+
+    Python's infinite two's complement makes ``x & (n-1)`` equal
+    ``x % n`` for any int ``x`` (negative distances included) whenever
+    ``n`` is a power of two — and it skips the division.
+    """
+    if n & (n - 1) == 0:
+        return f"{expr} & {n - 1}"
+    return f"{expr} % {n}"
+
+
+def _counters_setup(k):
+    # bp{k} pre-binds the buffer's bound ``pop``: the dict object never
+    # changes, and probes/installs are the hottest calls in the loop.
+    return [
+        f"buf{k} = {{}}",
+        f"bp{k} = buf{k}.pop",
+        f"bn{k} = pb{k} = iss{k} = ins{k} = rf{k} = ev{k} = 0",
+    ]
+
+
+def _emit_seq(k, sig, warmup):
+    _, (degree,), cap, clamp = sig[0], sig[1], sig[2], sig[3]
+    effective = degree if not clamp else min(degree, clamp)
+    out: list[str] = []
+    _render(out, _SEQ_BODY, "", k, {"@DEGREE@": degree}, warmup, cap, clamp)
+    if effective <= 8:
+        # Small degrees (the common case) fully unrolled, no offset loop.
+        for offset in range(1, effective + 1):
+            out.append(f"t{k} = page + {offset}")
+            out.extend(_insert_lines("", k, f"t{k}", cap))
+    else:
+        out.append(f"for of{k} in range(1, {effective + 1}):")
+        out.append(f"    t{k} = page + of{k}")
+        out.extend(_insert_lines("    ", k, f"t{k}", cap))
+    return _counters_setup(k), {"top": out}, _result(k)
+
+
+def _emit_aseq(k, sig, warmup):
+    maxd, window, raise_above, lower_below = sig[1]
+    cap, clamp = sig[2], sig[3]
+    if warmup:
+        hit_count = f"if hit@K@ and index >= {warmup}:\n    pb@K@ += 1"
+    else:
+        hit_count = "if hit@K@:\n    pb@K@ += 1"
+    eff = f"deg{k}" if not clamp else f"min(deg{k}, {clamp})"
+    out: list[str] = []
+    _render(
+        out,
+        _ASEQ_BODY.replace("@HIT_COUNT@", hit_count),
+        "",
+        k,
+        {
+            "@WINDOW@": window,
+            "@RAISE@": repr(raise_above),
+            "@LOWER@": repr(lower_below),
+            "@MAXD@": maxd,
+            "@EFF@": eff,
+        },
+        warmup,
+        cap,
+        clamp,
+    )
+    setup = _counters_setup(k) + [f"deg{k} = 1", f"wm{k} = wh{k} = 0"]
+    return setup, {"top": out}, _result(k)
+
+
+def _result(k, overhead="0"):
+    return f"(pb{k}, iss{k}, ins{k}, rf{k}, ev{k}, {overhead})"
+
+
+def _emit_stride(k, sig, warmup):
+    geom, cap, clamp = sig[2], sig[3], sig[4]
+    out: list[str] = []
+    out.extend(_probe_lines("", k, "page", warmup))
+    if geom is None:
+        # Never-overflow: one plain dict pc -> [prev_page, stride, state].
+        setup = _counters_setup(k) + [f"st{k} = {{}}"]
+        out.append(f"en{k} = st{k}.get(pc)")
+        out.append(f"if en{k} is None:")
+        out.append(f"    st{k}[pc] = [page, 0, 0]")
+        out.append("else:")
+        _render(
+            out, _STRIDE_FSM, "    ", k,
+            {
+                "@PREV@": f"en{k}[0]", "@STRIDE@": f"en{k}[1]",
+                "@STATE@": f"en{k}[2]", "@SET_STATE@": f"en{k}[2]",
+                "@SET_STRIDE@": f"en{k}[1]", "@SET_PREV@": f"en{k}[0]",
+            },
+            warmup, cap, clamp,
+        )
+        return setup, {"top": out}, _result(k)
+    rows, ways = geom
+    if ways == 1:
+        setup = _counters_setup(k) + [
+            f"tag{k} = [None] * {rows}",
+            f"ppg{k} = [0] * {rows}",
+            f"str{k} = [0] * {rows}",
+            f"sst{k} = bytearray({rows})",
+        ]
+        out.append(f"r{k} = {_mod('pc', rows)}")
+        out.append(f"if tag{k}[r{k}] != pc:")
+        out.append(f"    tag{k}[r{k}] = pc")
+        out.append(f"    ppg{k}[r{k}] = page")
+        out.append(f"    str{k}[r{k}] = 0")
+        out.append(f"    sst{k}[r{k}] = 0")
+        out.append("else:")
+        _render(
+            out, _STRIDE_FSM, "    ", k,
+            {
+                "@PREV@": f"ppg{k}[r{k}]", "@STRIDE@": f"str{k}[r{k}]",
+                "@STATE@": f"sst{k}[r{k}]", "@SET_STATE@": f"sst{k}[r{k}]",
+                "@SET_STRIDE@": f"str{k}[r{k}]", "@SET_PREV@": f"ppg{k}[r{k}]",
+            },
+            warmup, cap, clamp,
+        )
+        return setup, {"top": out}, _result(k)
+    num_sets = rows // ways
+    if num_sets == 1:
+        setup = _counters_setup(k) + [f"ts{k} = {{}}"]
+    else:
+        setup = _counters_setup(k) + [
+            f"sets{k} = [{{}} for _ in range({num_sets})]",
+        ]
+        out.append(f"ts{k} = sets{k}[{_mod('pc', num_sets)}]")
+    out.append(f"en{k} = ts{k}.pop(pc, None)")
+    out.append(f"if en{k} is None:")
+    out.append(f"    if len(ts{k}) >= {ways}:")
+    out.append(f"        del ts{k}[next(iter(ts{k}))]")
+    out.append(f"    ts{k}[pc] = [page, 0, 0]")
+    out.append("else:")
+    out.append(f"    ts{k}[pc] = en{k}")
+    _render(
+        out, _STRIDE_FSM, "    ", k,
+        {
+            "@PREV@": f"en{k}[0]", "@STRIDE@": f"en{k}[1]",
+            "@STATE@": f"en{k}[2]", "@SET_STATE@": f"en{k}[2]",
+            "@SET_STRIDE@": f"en{k}[1]", "@SET_PREV@": f"en{k}[0]",
+        },
+        warmup, cap, clamp,
+    )
+    return setup, {"top": out}, _result(k)
+
+
+def _emit_markov(k, sig, warmup):
+    """MP bodies: lookup + install in "top", successor update in "mp".
+
+    The install loop iterates the *live* slot list captured at lookup
+    time, before any successor update runs — exactly the reference
+    engine's materialize-at-predict semantics (buffer inserts never
+    touch the table, so running them first is unobservable). The
+    update lands in the shared ``if lp is not None and lp != page:``
+    block that :func:`_generate` emits once for every MP class.
+    """
+    (slots,), geom, cap, clamp = sig[1], sig[2], sig[3], sig[4]
+    out: list[str] = []
+    out.extend(_probe_lines("", k, "page", warmup))
+    update = _successor_update(slots).replace("@VALUE@", "page")
+    upd: list[str] = []
+    # Two slots (the paper's standard MP geometry) unrolls the install:
+    # no iterator and no clamp copy. A clamp >= 2 is a no-op for two
+    # slots; clamp == 1 just omits the second install (``issued`` still
+    # counts the full slot list, matching the reference engine).
+    two = slots == 2
+    second = clamp != 1
+    if geom is None:
+        setup = _counters_setup(k) + [f"mt{k} = {{}}", f"mg{k} = mt{k}.get"]
+        out.append(f"pf{k} = mg{k}(page)")
+        if two:
+            out.append(f"if pf{k} is None:")
+            out.append(f"    mt{k}[page] = []")
+            out.append(f"elif pf{k}:")
+            out.append(f"    n{k} = len(pf{k})")
+            out.append(f"    iss{k} += n{k}")
+            out.append(f"    tg{k} = pf{k}[0]")
+            out.extend(_insert_lines("    ", k, f"tg{k}", cap))
+            if second:
+                out.append(f"    if n{k} > 1:")
+                out.append(f"        tg{k} = pf{k}[1]")
+                out.extend(_insert_lines("        ", k, f"tg{k}", cap))
+        else:
+            out.append(f"if pf{k} is not None:")
+            out.append(f"    iss{k} += len(pf{k})")
+            out.append("else:")
+            out.append(f"    mt{k}[page] = []")
+            out.append(f"    pf{k} = ()")
+            out.extend(_prefetch_lines("", k, cap, clamp))
+        upd.append(f"sc{k} = mg{k}(lp)")
+        upd.append(f"if sc{k} is None:")
+        upd.append(f"    sc{k} = []")
+        upd.append(f"    mt{k}[lp] = sc{k}")
+        _render(upd, update, "", k, {}, warmup, cap, clamp)
+        return setup, {"top": out, "mp": upd}, _result(k)
+    rows, ways = geom
+    if ways == 1 and two:
+        # Direct-mapped two-slot rows packed into parallel flat arrays
+        # (count, MRU successor, LRU successor) instead of one heap
+        # list per row: no per-row allocations, and the MRU update is
+        # three subscript stores. Same observable trajectory as the
+        # list form — [v] is (1, v, _) and [a, b] is (2, a, b).
+        setup = _counters_setup(k) + [
+            f"tag{k} = [None] * {rows}",
+            f"cn{k} = bytearray({rows})",
+            f"ma{k} = [0] * {rows}",
+            f"mb{k} = [0] * {rows}",
+        ]
+        out.append(f"r{k} = {_mod('page', rows)}")
+        out.append(f"if tag{k}[r{k}] == page:")
+        out.append(f"    n{k} = cn{k}[r{k}]")
+        out.append(f"    if n{k}:")
+        out.append(f"        iss{k} += n{k}")
+        out.append(f"        tg{k} = ma{k}[r{k}]")
+        out.extend(_insert_lines("        ", k, f"tg{k}", cap))
+        if second:
+            out.append(f"        if n{k} > 1:")
+            out.append(f"            tg{k} = mb{k}[r{k}]")
+            out.extend(_insert_lines("            ", k, f"tg{k}", cap))
+        out.append("else:")
+        out.append(f"    tag{k}[r{k}] = page")
+        out.append(f"    cn{k}[r{k}] = 0")
+        upd.append(f"pr{k} = {_mod('lp', rows)}")
+        upd.append(f"if tag{k}[pr{k}] != lp:")
+        upd.append(f"    tag{k}[pr{k}] = lp")
+        upd.append(f"    ma{k}[pr{k}] = page")
+        upd.append(f"    cn{k}[pr{k}] = 1")
+        upd.append(f"elif cn{k}[pr{k}] == 0:")
+        upd.append(f"    ma{k}[pr{k}] = page")
+        upd.append(f"    cn{k}[pr{k}] = 1")
+        upd.append(f"elif ma{k}[pr{k}] != page:")
+        upd.append(f"    mb{k}[pr{k}] = ma{k}[pr{k}]")
+        upd.append(f"    ma{k}[pr{k}] = page")
+        upd.append(f"    cn{k}[pr{k}] = 2")
+        return setup, {"top": out, "mp": upd}, _result(k)
+    if ways == 1:
+        # Direct-mapped: tags start at an unmatchable None sentinel, so
+        # no separate occupancy array is consulted in the hot path.
+        setup = _counters_setup(k) + [
+            f"tag{k} = [None] * {rows}",
+            f"sl{k} = [[] for _ in range({rows})]",
+        ]
+        out.append(f"r{k} = {_mod('page', rows)}")
+        out.append(f"if tag{k}[r{k}] == page:")
+        out.append(f"    pf{k} = sl{k}[r{k}]")
+        out.append(f"    iss{k} += len(pf{k})")
+        out.append("else:")
+        out.append(f"    tag{k}[r{k}] = page")
+        out.append(f"    sl{k}[r{k}] = []")
+        out.append(f"    pf{k} = ()")
+        out.extend(_prefetch_lines("", k, cap, clamp))
+        upd.append(f"pr{k} = {_mod('lp', rows)}")
+        upd.append(f"if tag{k}[pr{k}] == lp:")
+        upd.append(f"    sc{k} = sl{k}[pr{k}]")
+        upd.append("else:")
+        upd.append(f"    tag{k}[pr{k}] = lp")
+        upd.append(f"    sc{k} = []")
+        upd.append(f"    sl{k}[pr{k}] = sc{k}")
+        _render(upd, update, "", k, {}, warmup, cap, clamp)
+        return setup, {"top": out, "mp": upd}, _result(k)
+    num_sets = rows // ways
+    if num_sets == 1:
+        # Fully associative: one set, bound once — no per-miss indexing.
+        setup = _counters_setup(k) + [f"ts{k} = {{}}"]
+        ts, ps = f"ts{k}", f"ts{k}"
+    else:
+        setup = _counters_setup(k) + [
+            f"sets{k} = [{{}} for _ in range({num_sets})]",
+        ]
+        out.append(f"ts{k} = sets{k}[{_mod('page', num_sets)}]")
+        upd.append(f"ps{k} = sets{k}[{_mod('lp', num_sets)}]")
+        ts, ps = f"ts{k}", f"ps{k}"
+    out.append(f"pf{k} = {ts}.pop(page, None)")
+    if two:
+        out.append(f"if pf{k} is not None:")
+        out.append(f"    {ts}[page] = pf{k}")
+        out.append(f"    if pf{k}:")
+        out.append(f"        n{k} = len(pf{k})")
+        out.append(f"        iss{k} += n{k}")
+        out.append(f"        tg{k} = pf{k}[0]")
+        out.extend(_insert_lines("        ", k, f"tg{k}", cap))
+        if second:
+            out.append(f"        if n{k} > 1:")
+            out.append(f"            tg{k} = pf{k}[1]")
+            out.extend(_insert_lines("            ", k, f"tg{k}", cap))
+        out.append("else:")
+        out.append(f"    if len({ts}) >= {ways}:")
+        out.append(f"        del {ts}[next(iter({ts}))]")
+        out.append(f"    {ts}[page] = []")
+    else:
+        out.append(f"if pf{k} is not None:")
+        out.append(f"    {ts}[page] = pf{k}")
+        out.append(f"    iss{k} += len(pf{k})")
+        out.append("else:")
+        out.append(f"    if len({ts}) >= {ways}:")
+        out.append(f"        del {ts}[next(iter({ts}))]")
+        out.append(f"    {ts}[page] = []")
+        out.append(f"    pf{k} = ()")
+        out.extend(_prefetch_lines("", k, cap, clamp))
+    upd.append(f"sc{k} = {ps}.pop(lp, None)")
+    upd.append(f"if sc{k} is not None:")
+    upd.append(f"    {ps}[lp] = sc{k}")
+    upd.append("else:")
+    upd.append(f"    if len({ps}) >= {ways}:")
+    upd.append(f"        del {ps}[next(iter({ps}))]")
+    upd.append(f"    sc{k} = []")
+    upd.append(f"    {ps}[lp] = sc{k}")
+    _render(upd, update, "", k, {}, warmup, cap, clamp)
+    return setup, {"top": out, "mp": upd}, _result(k)
+
+
+def _materialize_targets(k):
+    """Targets are materialized before the successor update: when the
+    updated key aliases the looked-up row, the update mutates the live
+    slot list (the reference engine snapshots values first)."""
+    return [
+        f"pf{k} = []",
+        f"for pd{k}_ in row{k}:",
+        f"    t{k} = page + pd{k}_",
+        f"    if t{k} >= 0:",
+        f"        pf{k}.append(t{k})",
+        f"        iss{k} += 1",
+    ]
+
+
+def _hit_targets(k, cap, clamp, slots=0):
+    """The hit path's target handling for keyed (distance-valued) rows.
+
+    With no clamp, installs fuse into the materialize loop: the live
+    row is iterated at lookup time (before the successor update can
+    mutate it) and each non-negative target goes straight into the
+    buffer — no intermediate list. A clamp needs the full list first
+    because ``issued`` counts pre-clamp targets. Two-slot rows (the
+    standard geometry) unroll the loop entirely.
+    """
+    if clamp:
+        return ["    " + line for line in _materialize_targets(k)]
+    if slots == 2:
+        lines = [
+            f"    if row{k}:",
+            f"        t{k} = page + row{k}[0]",
+            f"        if t{k} >= 0:",
+            f"            iss{k} += 1",
+        ]
+        lines.extend(_insert_lines("            ", k, f"t{k}", cap))
+        lines += [
+            f"        if len(row{k}) > 1:",
+            f"            t{k} = page + row{k}[1]",
+            f"            if t{k} >= 0:",
+            f"                iss{k} += 1",
+        ]
+        lines.extend(_insert_lines("                ", k, f"t{k}", cap))
+        return lines
+    lines = [
+        f"    for pd{k}_ in row{k}:",
+        f"        t{k} = page + pd{k}_",
+        f"        if t{k} >= 0:",
+        f"            iss{k} += 1",
+    ]
+    lines.extend(_insert_lines("            ", k, f"t{k}", cap))
+    return lines
+
+
+def _emit_keyed_table(k, sig, warmup, key_var, prev_var, section):
+    """Shared emitter for DP / DP-PC / DP-2 table bodies.
+
+    ``key_var`` is the shared per-miss lookup key expression,
+    ``prev_var`` the shared previous-key variable used for the
+    successor update (DP: previous distance; DP-PC/DP-2: previous
+    packed key). The successor *value* recorded is always the current
+    distance. Bodies land in ``section`` ("dp" runs when a distance
+    exists, "dp2" additionally when a distance pair exists).
+    """
+    (slots,), geom, cap, clamp = sig[1], sig[2], sig[3], sig[4]
+    update = _successor_update(slots).replace("@VALUE@", "distance")
+    hit = _hit_targets(k, cap, clamp, slots)
+    out: list[str] = []
+
+    def miss_and_install():
+        # With a clamp the hit path materializes pf{k}; the miss path
+        # must define it and the shared install block runs afterwards.
+        if clamp:
+            out.append(f"    pf{k} = ()")
+
+    def trailing_install():
+        if clamp:
+            out.extend(_prefetch_lines("", k, cap, clamp))
+
+    if geom is None:
+        setup = _counters_setup(k) + [f"dt{k} = {{}}"]
+        out.append(f"row{k} = dt{k}.get({key_var})")
+        out.append(f"if row{k} is not None:")
+        out.extend(hit)
+        out.append("else:")
+        out.append(f"    dt{k}[{key_var}] = []")
+        miss_and_install()
+        out.append(f"if {prev_var} is not None:")
+        out.append(f"    sc{k} = dt{k}.get({prev_var})")
+        out.append(f"    if sc{k} is None:")
+        out.append(f"        sc{k} = []")
+        out.append(f"        dt{k}[{prev_var}] = sc{k}")
+        _render(out, update, "    ", k, {}, warmup, cap, clamp)
+        trailing_install()
+        return setup, {section: out}, _result(k)
+    rows, ways = geom
+    if ways == 1 and sig[0] == "distance":
+        # DP direct-mapped keeps fastpath's flat-array kernel; tags
+        # start at an unmatchable None sentinel (distances may be any
+        # integer, so no integer sentinel is safe).
+        setup = _counters_setup(k) + [
+            f"tag{k} = [None] * {rows}",
+            f"sl{k} = [[] for _ in range({rows})]",
+        ]
+        out.append(f"r{k} = {_mod('distance', rows)}")
+        out.append(f"if tag{k}[r{k}] == distance:")
+        out.append(f"    row{k} = sl{k}[r{k}]")
+        out.extend(hit)
+        out.append("else:")
+        out.append(f"    tag{k}[r{k}] = distance")
+        out.append(f"    sl{k}[r{k}] = []")
+        miss_and_install()
+        out.append(f"if {prev_var} is not None:")
+        out.append(f"    pr{k} = {_mod(prev_var, rows)}")
+        out.append(f"    if tag{k}[pr{k}] == {prev_var}:")
+        out.append(f"        sc{k} = sl{k}[pr{k}]")
+        out.append("    else:")
+        out.append(f"        tag{k}[pr{k}] = {prev_var}")
+        out.append(f"        sc{k} = []")
+        out.append(f"        sl{k}[pr{k}] = sc{k}")
+        _render(out, update, "    ", k, {}, warmup, cap, clamp)
+        trailing_install()
+        return setup, {section: out}, _result(k)
+    num_sets = rows // ways
+    if num_sets == 1:
+        setup = _counters_setup(k) + [f"ts{k} = {{}}"]
+        ts, ps = f"ts{k}", f"ts{k}"
+    else:
+        setup = _counters_setup(k) + [
+            f"sets{k} = [{{}} for _ in range({num_sets})]",
+        ]
+        out.append(f"ts{k} = sets{k}[{_mod(key_var, num_sets)}]")
+        ts, ps = f"ts{k}", f"ps{k}"
+    out.append(f"row{k} = {ts}.pop({key_var}, None)")
+    out.append(f"if row{k} is not None:")
+    out.append(f"    {ts}[{key_var}] = row{k}")
+    out.extend(hit)
+    out.append("else:")
+    out.append(f"    if len({ts}) >= {ways}:")
+    out.append(f"        del {ts}[next(iter({ts}))]")
+    out.append(f"    {ts}[{key_var}] = []")
+    miss_and_install()
+    out.append(f"if {prev_var} is not None:")
+    if num_sets != 1:
+        out.append(f"    ps{k} = sets{k}[{_mod(prev_var, num_sets)}]")
+    out.append(f"    sc{k} = {ps}.pop({prev_var}, None)")
+    out.append(f"    if sc{k} is not None:")
+    out.append(f"        {ps}[{prev_var}] = sc{k}")
+    out.append("    else:")
+    out.append(f"        if len({ps}) >= {ways}:")
+    out.append(f"            del {ps}[next(iter({ps}))]")
+    out.append(f"        sc{k} = []")
+    out.append(f"        {ps}[{prev_var}] = sc{k}")
+    _render(out, update, "    ", k, {}, warmup, cap, clamp)
+    trailing_install()
+    return setup, {section: out}, _result(k)
+
+
+def _emit_recency(k, sig, warmup):
+    (variant_three,), cap, clamp = sig[1], sig[2], sig[3]
+    out: list[str] = []
+    out.extend(_probe_lines("", k, "rpage", warmup))
+    if not clamp:
+        # No clamp: install each stack neighbor directly, in the same
+        # above-then-below(-then-third) order the list would have had.
+        out.append("if rabove != -1:")
+        out.append(f"    iss{k} += 1")
+        out.extend(_insert_lines("    ", k, "rabove", cap))
+        out.append("if rbelow != -1:")
+        out.append(f"    iss{k} += 1")
+        out.extend(_insert_lines("    ", k, "rbelow", cap))
+        if variant_three:
+            out.append("if rthird != -1:")
+            out.append(f"    iss{k} += 1")
+            out.extend(_insert_lines("    ", k, "rthird", cap))
+        return _counters_setup(k), {"rp": out}, _result(k, "rp_overhead")
+    out.append(f"pf{k} = []")
+    out.append("if rabove != -1:")
+    out.append(f"    pf{k}.append(rabove)")
+    out.append("if rbelow != -1:")
+    out.append(f"    pf{k}.append(rbelow)")
+    if variant_three:
+        out.append("if rthird != -1:")
+        out.append(f"    pf{k}.append(rthird)")
+    out.append(f"if pf{k}:")
+    out.append(f"    iss{k} += len(pf{k})")
+    out.append(f"    if len(pf{k}) > {clamp}:")
+    out.append(f"        pf{k} = pf{k}[:{clamp}]")
+    out.append(f"    for tg{k} in pf{k}:")
+    out.extend(_insert_lines("        ", k, f"tg{k}", cap))
+    return _counters_setup(k), {"rp": out}, _result(k, "rp_overhead")
+
+
+def _recency_streams(
+    rp_pages: list[int], rp_evicted: list[int], rp_footprint: int
+) -> tuple[list[int], list[int], list[int], int]:
+    """Precompute the recency stack's per-miss neighbors for one trace.
+
+    The stack evolution depends only on the miss stream — never on any
+    mechanism config — so the (above, below, third) neighbors seen at
+    every miss, and the total maintenance overhead, are computed once
+    per trace and cached in its :class:`_TraceAnalysis`. Every RP
+    class then reduces to buffer work over these arrays. ``third`` is
+    pre-filtered exactly as the replay would (absent, off-stack, or
+    equal to the missing page -> -1).
+    """
+    rp_next = [-1] * rp_footprint
+    rp_prev = [-1] * rp_footprint
+    rp_on = bytearray(rp_footprint)
+    rp_top = -1
+    overhead = 0
+    above: list[int] = []
+    below: list[int] = []
+    third: list[int] = []
+    for rpage, revt in zip(rp_pages, rp_evicted):
+        if rp_on[rpage]:
+            rbelow = rp_next[rpage]
+            rabove = rp_prev[rpage]
+            if rabove != -1:
+                rp_next[rabove] = rbelow
+            else:
+                rp_top = rbelow
+            if rbelow != -1:
+                rp_prev[rbelow] = rabove
+            rp_prev[rpage] = -1
+            rp_next[rpage] = -1
+            rp_on[rpage] = 0
+            overhead += 2
+        else:
+            rbelow = -1
+            rabove = -1
+        if revt != -1:
+            if rp_on[revt]:
+                ea = rp_prev[revt]
+                eb = rp_next[revt]
+                if ea != -1:
+                    rp_next[ea] = eb
+                else:
+                    rp_top = eb
+                if eb != -1:
+                    rp_prev[eb] = ea
+            rp_next[revt] = rp_top
+            rp_prev[revt] = -1
+            rp_on[revt] = 1
+            if rp_top != -1:
+                rp_prev[rp_top] = revt
+            rp_top = revt
+            overhead += 2
+        above.append(rabove)
+        below.append(rbelow)
+        if rbelow != -1 and rp_on[rbelow]:
+            th = rp_next[rbelow]
+            if th == rpage:
+                th = -1
+        else:
+            th = -1
+        third.append(th)
+    return above, below, third, overhead
+
+
+def _emit_class(k: str, sig: tuple, warmup: int):
+    family = sig[0]
+    if family == "zero":
+        # A provably hit-free table mechanism: no per-miss work at all.
+        return [], {}, "(0, 0, 0, 0, 0, 0)"
+    if family == "none":
+        return _emit_none(k, sig, warmup)
+    if family == "seq":
+        return _emit_seq(k, sig, warmup)
+    if family == "aseq":
+        return _emit_aseq(k, sig, warmup)
+    if family == "stride":
+        return _emit_stride(k, sig, warmup)
+    if family == "markov":
+        return _emit_markov(k, sig, warmup)
+    if family == "distance":
+        setup, sections, result = _emit_keyed_table(
+            k, sig, warmup, "distance", "pd", "dp"
+        )
+    elif family == "pcdist":
+        setup, sections, result = _emit_keyed_table(
+            k, sig, warmup, "kpc", "pkc", "dp"
+        )
+    elif family == "distpair":
+        setup, sections, result = _emit_keyed_table(
+            k, sig, warmup, "dpk", "pk2", "dp2"
+        )
+    elif family == "recency":
+        return _emit_recency(k, sig, warmup)
+    else:  # pragma: no cover - _plan vets families
+        raise ConfigurationError(f"unknown batch family {family!r}")
+    # DP-family bodies probe the buffer on every miss (top level) and
+    # run their table logic only once a distance (pair) exists.
+    probe = _probe_lines("", k, "page", warmup)
+    sections["top"] = probe
+    return setup, sections, result
+
+
+def _generate(warmup: int, emit_sigs: tuple[tuple, ...]) -> str:
+    """Source of the fused loop for one batch shape."""
+    setups: list[str] = []
+    tops: list[str] = []
+    mps: list[str] = []
+    dps: list[str] = []
+    dp2s: list[str] = []
+    rps: list[str] = []
+    results: list[str] = []
+    need_pc = need_lp = need_dist = need_pd = False
+    need_kpc = need_dpk = need_rp = need_rp3 = False
+    for index, sig in enumerate(emit_sigs):
+        family = sig[0]
+        if family in ("stride", "pcdist"):
+            need_pc = True
+        if family in ("markov", "distance", "pcdist", "distpair"):
+            need_lp = need_dist = True
+        if family in ("distance", "distpair"):
+            need_pd = True
+        if family == "pcdist":
+            need_kpc = True
+        if family == "distpair":
+            need_dpk = True
+        if family == "recency":
+            need_rp = True
+            if sig[1][0]:
+                need_rp3 = True
+        setup, sections, result = _emit_class(str(index), sig, warmup)
+        setups.extend(setup)
+        tops.extend(sections.get("top", ()))
+        mps.extend(sections.get("mp", ()))
+        dps.extend(sections.get("dp", ()))
+        dp2s.extend(sections.get("dp2", ()))
+        rps.extend(sections.get("rp", ()))
+        results.append(result)
+
+    lines = [
+        # Hot-loop names bound as defaults: LOAD_FAST instead of
+        # LOAD_GLOBAL for every builtin/table-helper call per miss.
+        "def _batch(pcs, pages, rp_pages, rp_above, rp_below, "
+        "rp_third, rp_overhead,",
+        "           len=len, next=next, iter=iter, min=min, max=max,",
+        "           pack_pc_distance=pack_pc_distance,",
+        "           pack_distance_pair=pack_distance_pair):",
+    ]
+    pad = "    "
+    for line in setups:
+        lines.append(pad + line)
+    if need_lp:
+        lines.append(pad + "last_page = None")
+    if need_pd:
+        lines.append(pad + "last_dist = None")
+    if need_kpc:
+        lines.append(pad + "last_kpc = None")
+    if need_dpk:
+        lines.append(pad + "last_dpk = None")
+    loop: list[str] = []
+    if need_lp:
+        loop.append("lp = last_page")
+        loop.append("last_page = page")
+    if warmup:
+        # Probes test `index >= warmup`, so the loop must enumerate.
+        if need_pc:
+            loop.append("pc = pcs[index]")
+        if need_rp:
+            loop.append("rpage = rp_pages[index]")
+            loop.append("rabove = rp_above[index]")
+            loop.append("rbelow = rp_below[index]")
+            if need_rp3:
+                loop.append("rthird = rp_third[index]")
+    loop.extend(tops)
+    if mps:
+        # One shared guard for every MP class's successor update (the
+        # self-successor rule: a page is never its own successor).
+        loop.append("if lp is not None and lp != page:")
+        for line in mps:
+            loop.append(pad + line)
+    if need_dist and (dps or dp2s):
+        loop.append("if lp is not None:")
+        loop.append(pad + "distance = page - lp")
+        if need_pd:
+            loop.append(pad + "pd = last_dist")
+            loop.append(pad + "last_dist = distance")
+        if need_kpc:
+            loop.append(pad + "kpc = pack_pc_distance(pc, distance)")
+            loop.append(pad + "pkc = last_kpc")
+            loop.append(pad + "last_kpc = kpc")
+        for line in dps:
+            loop.append(pad + line)
+        if need_dpk and dp2s:
+            loop.append(pad + "if pd is not None:")
+            loop.append(pad + pad + "dpk = pack_distance_pair(pd, distance)")
+            loop.append(pad + pad + "pk2 = last_dpk")
+            loop.append(pad + pad + "last_dpk = dpk")
+            for line in dp2s:
+                loop.append(pad + pad + line)
+    if need_rp:
+        loop.extend(rps)
+    if loop:
+        # An all-Null batch has no per-miss work at all — skip the loop.
+        # Without a warm-up window nothing reads `index`: zip exactly
+        # the arrays the bodies touch instead of enumerating.
+        if warmup:
+            lines.append(pad + "for index, page in enumerate(pages):")
+        else:
+            names, iters = ["page"], ["pages"]
+            if need_pc:
+                names.append("pc")
+                iters.append("pcs")
+            if need_rp:
+                names += ["rpage", "rabove", "rbelow"]
+                iters += ["rp_pages", "rp_above", "rp_below"]
+                if need_rp3:
+                    names.append("rthird")
+                    iters.append("rp_third")
+            if len(iters) == 1:
+                lines.append(pad + "for page in pages:")
+            else:
+                lines.append(
+                    pad + "for " + ", ".join(names)
+                    + " in zip(" + ", ".join(iters) + "):"
+                )
+        body = pad + pad
+        for line in loop:
+            lines.append(body + line)
+    lines.append(pad + "return [")
+    for result in results:
+        lines.append(pad + pad + result + ",")
+    lines.append(pad + "]")
+    return "\n".join(lines) + "\n"
+
+
+#: Compiled fused loops memoized by (warmup, emission signatures) —
+#: a sweep's streams typically share one shape, so codegen runs once.
+_CODE_CACHE: dict[tuple, object] = {}
+
+#: Source of the most recently generated loop (debugging/tests).
+_LAST_SOURCE: str | None = None
+
+
+def _compiled(warmup: int, emit_sigs: tuple[tuple, ...]):
+    global _LAST_SOURCE
+    key = (warmup, emit_sigs)
+    fn = _CODE_CACHE.get(key)
+    if fn is None:
+        source = _generate(warmup, emit_sigs)
+        _LAST_SOURCE = source
+        namespace = {
+            "pack_pc_distance": pack_pc_distance,
+            "pack_distance_pair": pack_distance_pair,
+        }
+        exec(compile(source, "<repro.sim.batchpath>", "exec"), namespace)
+        fn = namespace["_batch"]
+        if len(_CODE_CACHE) >= 256:
+            _CODE_CACHE.clear()
+        _CODE_CACHE[key] = fn
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# Public entry point.
+# ---------------------------------------------------------------------------
+
+
+class _TraceAnalysis:
+    """Per-trace batch analysis, computed once and reused across calls."""
+
+    __slots__ = ("keys", "rp", "sigs")
+
+    def __init__(self) -> None:
+        self.keys: _StreamKeys | None = None
+        # (rp_pages, above, below, third, overhead): the dense page
+        # ids plus the precomputed recency-stack neighbor streams.
+        self.rp: (
+            tuple[list[int], list[int], list[int], list[int], int] | None
+        ) = None
+        # (family, config, cap, clamp) -> (dedup_sig, emit_sig); the
+        # equivalence analysis is a pure function of the trace and
+        # those four plan fields, so repeat batches skip it entirely.
+        self.sigs: dict[tuple, tuple[tuple, tuple]] = {}
+
+
+#: Keyed by ``id(miss_trace)``; a weakref finalizer evicts the entry
+#: when the trace dies, so a recycled id can never alias a stale entry.
+_ANALYSIS_CACHE: dict[int, _TraceAnalysis] = {}
+
+
+def _analysis_for(miss_trace: MissTrace) -> _TraceAnalysis:
+    key = id(miss_trace)
+    analysis = _ANALYSIS_CACHE.get(key)
+    if analysis is None:
+        analysis = _TraceAnalysis()
+        _ANALYSIS_CACHE[key] = analysis
+        weakref.finalize(miss_trace, _ANALYSIS_CACHE.pop, key, None)
+    return analysis
+
+
+def replay_batch(
+    miss_trace: MissTrace,
+    requests: "list[tuple[Prefetcher, int, int]]",
+) -> "list[PrefetchRunStats]":
+    """Replay N fresh mechanisms over one miss stream in a single pass.
+
+    ``requests`` is a list of ``(prefetcher, buffer_entries,
+    max_prefetches_per_miss)`` triples; every prefetcher must be a
+    freshly built instance of a supported mechanism (raises
+    :class:`~repro.errors.ConfigurationError` otherwise). Returns one
+    :class:`~repro.sim.stats.PrefetchRunStats` per request, in request
+    order, bit-identical to what the reference and per-spec fast
+    engines produce. The instances are *not* trained — batch replays
+    are for throwaway mechanisms built from specs.
+    """
+    plans = [_plan(p, cap, clamp) for p, cap, clamp in requests]
+    pcs, pages, _evicted, warmup = compile_stream(miss_trace)
+    analysis = _analysis_for(miss_trace)
+    if analysis.keys is None:
+        analysis.keys = _StreamKeys(pcs, pages)
+    keys = analysis.keys
+
+    class_of: dict[tuple, int] = {}
+    emit_sigs: list[tuple] = []
+    slot_class: list[int] = []
+    for plan in plans:
+        cache_key = (plan.family, plan.config, plan.cap, plan.clamp)
+        cached = analysis.sigs.get(cache_key)
+        if cached is None:
+            cached = _sigs(plan, keys)
+            analysis.sigs[cache_key] = cached
+        dedup_sig, emit_sig = cached
+        index = class_of.get(dedup_sig)
+        if index is None:
+            index = len(emit_sigs)
+            class_of[dedup_sig] = index
+            emit_sigs.append(emit_sig)
+        slot_class.append(index)
+
+    rp_pages: list[int] = []
+    rp_above: list[int] = []
+    rp_below: list[int] = []
+    rp_third: list[int] = []
+    rp_overhead = 0
+    if any(sig[0] == "recency" for sig in emit_sigs):
+        if analysis.rp is None:
+            pages_array = miss_trace.pages
+            evicted_array = miss_trace.evicted
+            unique = np.unique(
+                np.concatenate([pages_array, evicted_array[evicted_array >= 0]])
+            )
+            rp_pages = np.searchsorted(unique, pages_array).tolist()
+            rp_evicted = np.where(
+                evicted_array >= 0, np.searchsorted(unique, evicted_array), -1
+            ).tolist()
+            analysis.rp = (rp_pages,) + _recency_streams(
+                rp_pages, rp_evicted, len(unique)
+            )
+        rp_pages, rp_above, rp_below, rp_third, rp_overhead = analysis.rp
+
+    fn = _compiled(warmup, tuple(emit_sigs))
+    rows = fn(pcs, pages, rp_pages, rp_above, rp_below, rp_third, rp_overhead)
+    return [
+        _make_stats(miss_trace, plan.label, rows[slot_class[i]])
+        for i, plan in enumerate(plans)
+    ]
+
+
+def _make_stats(miss_trace: MissTrace, label: str, row: tuple):
+    from repro.sim.stats import PrefetchRunStats
+
+    pb_hits, issued, inserted, refreshed, evicted_unused, overhead = row
+    return PrefetchRunStats(
+        workload=miss_trace.name,
+        mechanism=label,
+        tlb_label=miss_trace.tlb_label,
+        total_references=miss_trace.total_references,
+        tlb_misses=miss_trace.num_misses,
+        measured_misses=miss_trace.measured_misses,
+        pb_hits=pb_hits,
+        prefetches_issued=issued,
+        buffer_inserted=inserted,
+        buffer_refreshed=refreshed,
+        buffer_evicted_unused=evicted_unused,
+        overhead_memory_ops=overhead,
+        # A prefetch already buffered is coalesced, costing no new fetch.
+        prefetch_fetch_ops=inserted,
+    )

@@ -9,6 +9,14 @@ Two engines can replay a mechanism over a TLB miss stream:
 - ``"fast"`` — :func:`repro.sim.fastpath.replay_fast`, the specialized
   flat-array loops, bit-identical by contract (and by the
   ``tests/differential/`` harness) but several times faster.
+- ``"batch"`` — :func:`repro.sim.batchpath.replay_batch`, the one-pass
+  multi-config loop. It amortizes the stream scan across *many* specs,
+  so it only pays off at the :class:`~repro.run.runner.Runner` level:
+  the runner groups a batch by stream key and replays each group of
+  compatible fresh specs in a single pass. For a *single* replay (this
+  module's :func:`replay`) there is nothing to amortize, so
+  ``engine="batch"`` resolves to the fast engine here — same bits,
+  and warm (trained) instances keep their snapshot warm-start.
 
 ``"auto"`` picks the fast engine whenever the mechanism has a fast
 loop. Warm-started (trained) instances take the fast path too: the
@@ -30,7 +38,7 @@ from repro.sim.two_phase import replay_prefetcher
 
 #: Engine names accepted everywhere an ``engine`` knob appears
 #: (``RunSpec``, ``Runner``, ``evaluate``, ``simulate``, the CLI).
-ENGINES: tuple[str, ...] = ("auto", "reference", "fast")
+ENGINES: tuple[str, ...] = ("auto", "reference", "fast", "batch")
 
 
 def validate_engine(engine: str) -> str:
@@ -47,6 +55,20 @@ def fast_available(prefetcher: Prefetcher) -> bool:
     return fastpath.supports(prefetcher)
 
 
+def batch_available(prefetcher: Prefetcher) -> bool:
+    """True when the batch engine can include this *fresh* instance.
+
+    The batch loop advances throwaway tables built from specs; it has
+    no warm-start path, so trained instances (and mechanisms without a
+    batch loop) are replayed per-spec instead — the
+    :class:`~repro.run.runner.Runner` applies exactly this predicate
+    when it forms one-pass groups.
+    """
+    from repro.sim import batchpath
+
+    return batchpath.supports(prefetcher) and not prefetcher.has_prediction_state()
+
+
 def fast_preferred(prefetcher: Prefetcher) -> bool:
     """True when ``engine="auto"`` would pick the fast engine.
 
@@ -59,9 +81,14 @@ def fast_preferred(prefetcher: Prefetcher) -> bool:
 
 
 def resolve_engine(prefetcher: Prefetcher, engine: str = "auto") -> str:
-    """The concrete engine (``reference`` or ``fast``) a replay will use."""
+    """The concrete engine (``reference`` or ``fast``) a replay will use.
+
+    ``"batch"`` is a *runner-level* engine: for a single replay it
+    resolves like ``"auto"`` (the batch loop needs multiple specs to
+    amortize anything, and the fast engine is bit-identical).
+    """
     validate_engine(engine)
-    if engine == "auto":
+    if engine in ("auto", "batch"):
         return "fast" if fast_preferred(prefetcher) else "reference"
     return engine
 

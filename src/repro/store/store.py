@@ -180,6 +180,22 @@ class ExperimentStore:
                     "CREATE TABLE IF NOT EXISTS counters "
                     "(name TEXT PRIMARY KEY, value INTEGER NOT NULL)"
                 )
+                seq = self._db.execute(
+                    "SELECT value FROM counters WHERE name='access_seq'"
+                ).fetchone()
+                if seq is None:
+                    # Migrate a pre-counter store: seed the LRU clock
+                    # just past the largest wall-clock recency already
+                    # recorded, so existing entries keep their relative
+                    # order and every new access sorts after them.
+                    seed = self._db.execute(
+                        "SELECT CAST(MAX(last_access) AS INTEGER) FROM entries"
+                    ).fetchone()[0]
+                    self._db.execute(
+                        "INSERT INTO counters (name, value) "
+                        "VALUES ('access_seq', ?)",
+                        (int(seed or 0),),
+                    )
                 row = self._db.execute(
                     "SELECT value FROM meta WHERE key='schema'"
                 ).fetchone()
@@ -222,6 +238,24 @@ class ExperimentStore:
             (name, delta),
         )
 
+    def _next_access(self) -> int:
+        """Advance the persistent LRU clock and return its new value.
+
+        Entry recency used to be wall-clock ``time.time()``: an NTP
+        step (or two touches inside one clock tick) could reorder —
+        or tie — entries and make :meth:`gc` eviction order depend on
+        the host clock, occasionally evicting the most-recently-used
+        artifact. The monotonic ``access_seq`` counter lives in the
+        ``counters`` table, so recency survives reopens, is shared
+        across processes (the upsert is serialized by SQLite), and
+        never ties.
+        """
+        return self._db.execute(
+            "INSERT INTO counters (name, value) VALUES ('access_seq', 1) "
+            "ON CONFLICT(name) DO UPDATE SET value = value + 1 "
+            "RETURNING value"
+        ).fetchone()[0]
+
     def _write_atomic(self, final: Path, data: bytes) -> None:
         tmp = final.parent / f".{final.name}.{os.getpid()}.{next(_tmp_counter)}.tmp"
         tmp.write_bytes(data)
@@ -236,7 +270,6 @@ class ExperimentStore:
         workload: str | None,
         mechanism: str | None,
     ) -> None:
-        now = time.time()
         self._db.execute(
             "INSERT INTO entries "
             "(kind, key, path, size_bytes, created_at, last_access, workload,"
@@ -244,14 +277,23 @@ class ExperimentStore:
             "ON CONFLICT(kind, key) DO UPDATE SET path=excluded.path,"
             " size_bytes=excluded.size_bytes, last_access=excluded.last_access,"
             " workload=excluded.workload, mechanism=excluded.mechanism",
-            (kind, key, rel_path, size, now, now, workload, mechanism),
+            (
+                kind,
+                key,
+                rel_path,
+                size,
+                time.time(),
+                self._next_access(),
+                workload,
+                mechanism,
+            ),
         )
         self._bump("bytes_written", size)
 
     def _touch(self, kind: str, key: str) -> None:
         self._db.execute(
             "UPDATE entries SET last_access=? WHERE kind=? AND key=?",
-            (time.time(), kind, key),
+            (self._next_access(), kind, key),
         )
 
     def _drop_entry(self, kind: str, key: str) -> None:

@@ -1,12 +1,19 @@
-"""DifferentialRunner: execute one spec on both engines, demand equality.
+"""DifferentialRunner: execute one spec on every engine, demand equality.
 
 "Bit-identical" here is literal: the full
 :class:`~repro.sim.stats.PrefetchRunStats` dataclass — every stored
 counter and every ``extra`` annotation — must compare equal field for
 field, and whole :class:`~repro.run.results.ResultSet` batches must
 serialize to identical JSON. Tolerances would defeat the point: the
-fast engine is only trustworthy if it *is* the reference engine,
-observationally.
+fast and batch engines are only trustworthy if they *are* the
+reference engine, observationally.
+
+Every check covers three engines: the reference loop, the per-spec
+fast path, and the one-pass batch engine (``engine="batch"`` forces
+the fused loop through :class:`~repro.run.Runner` even for a single
+spec; the direct-trace checks call
+:func:`repro.sim.batchpath.replay_batch` with a duplicated request so
+the equivalence-class deduplication is exercised too).
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from repro.mem.trace import MissTrace, ReferenceTrace
 from repro.prefetch.base import Prefetcher
 from repro.run import MissStreamCache, ResultSet, Runner, RunSpec
 from repro.sim.config import SimulationConfig
+from repro.sim.batchpath import replay_batch
 from repro.sim.fastpath import replay_fast
 from repro.sim.stats import PrefetchRunStats
 from repro.sim.two_phase import filter_tlb, replay_prefetcher
@@ -65,9 +73,14 @@ class DifferentialRunner:
         return reference, fast
 
     def check_spec(self, spec: RunSpec) -> PrefetchRunStats:
-        """Assert both engines agree on ``spec``; return the stats."""
+        """Assert all three engines agree on ``spec``; return the stats."""
         reference, fast = self.run_both(spec)
         assert_identical(reference, fast, context=f"spec {spec.label} {spec.key()}")
+        # engine="batch" forces the fused loop even for this singleton.
+        (batch,) = self.runner.run([spec.derive(engine="batch")])
+        assert_identical(
+            reference, batch, context=f"batch spec {spec.label} {spec.key()}"
+        )
         self.checked += 1
         return reference
 
@@ -75,11 +88,19 @@ class DifferentialRunner:
         """Assert whole-batch ResultSets serialize identically."""
         reference = self.runner.run([spec.derive(engine="reference") for spec in specs])
         fast = self.runner.run([spec.derive(engine="fast") for spec in specs])
-        for ref_row, fast_row in zip(reference, fast):
+        batch = self.runner.run([spec.derive(engine="batch") for spec in specs])
+        for ref_row, fast_row, batch_row in zip(reference, fast, batch):
             assert_identical(ref_row, fast_row, context=ref_row.workload)
+            assert_identical(
+                ref_row, batch_row, context=f"batch {ref_row.workload}"
+            )
         if reference.to_json() != fast.to_json():
             raise EngineDivergenceError(
                 "ResultSet JSON differs between engines despite equal rows"
+            )
+        if reference.to_json() != batch.to_json():
+            raise EngineDivergenceError(
+                "batch ResultSet JSON differs from reference despite equal rows"
             )
         self.checked += len(specs)
         return reference
@@ -119,6 +140,23 @@ class DifferentialRunner:
             max_prefetches_per_miss=config.max_prefetches_per_miss,
         )
         assert_identical(reference, fast, context=f"trace {miss_trace.name}")
+        # The same request twice in one batch: the second slot dedups
+        # onto the first's simulation, and both must match reference.
+        batch_rows = replay_batch(
+            miss_trace,
+            [
+                (
+                    prefetcher_factory(),
+                    config.buffer_entries,
+                    config.max_prefetches_per_miss,
+                )
+                for _ in range(2)
+            ],
+        )
+        for slot, row in enumerate(batch_rows):
+            assert_identical(
+                reference, row, context=f"batch trace {miss_trace.name} slot {slot}"
+            )
         self.checked += 1
         return reference
 

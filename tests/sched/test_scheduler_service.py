@@ -355,6 +355,22 @@ class TestClientRetries:
         assert len(calls) == 2
         assert client.retries == 1
 
+    def test_retry_jitter_leaves_global_rng_untouched(self, monkeypatch):
+        """Backoff jitter draws from the client's private RNG: a host
+        process that seeded ``random`` (the differential harness, the
+        hypothesis suites) must see an unperturbed stream."""
+        import random
+
+        random.seed(20020525)
+        expected_state = random.getstate()
+        client, calls = self._client(
+            monkeypatch, [urllib.error.URLError("refused")] * 4
+        )
+        with pytest.raises(ServiceError):
+            client.request("/stats")
+        assert client.retries == 3  # jitter was actually drawn
+        assert random.getstate() == expected_state
+
     def test_http_errors_are_never_retried(self, monkeypatch):
         error = urllib.error.HTTPError(
             "http://x/stats", 500, "boom", {}, None

@@ -212,6 +212,37 @@ class TestGarbageCollection:
         remaining = [e["key"] for e in store.entries()]
         assert remaining == [specs[0].key()]
 
+    def test_gc_order_deterministic_under_frozen_clock(self, tmp_path, monkeypatch):
+        """LRU recency is a persistent counter, not wall-clock time:
+        with the clock frozen (coarse ticks, identical timestamps) the
+        eviction order must still follow access order exactly."""
+        from repro.store import store as store_module
+
+        monkeypatch.setattr(store_module.time, "time", lambda: 1.7e9)
+        store, specs = self._filled(tmp_path, count=4)
+        store.get_result(specs[2].key())
+        store.get_result(specs[0].key())
+        sizes = {e["key"]: e["size_bytes"] for e in store.entries()}
+        budget = sizes[specs[0].key()] + sizes[specs[2].key()]
+        store.gc(max_bytes=budget)
+        remaining = {e["key"] for e in store.entries()}
+        assert remaining == {specs[0].key(), specs[2].key()}
+
+    def test_gc_order_survives_clock_stepping_backwards(self, tmp_path, monkeypatch):
+        """An NTP step must not reorder recency: entries touched after
+        the clock jumps back stay the most recently used."""
+        from repro.store import store as store_module
+
+        clock = {"now": 1.7e9}
+        monkeypatch.setattr(store_module.time, "time", lambda: clock["now"])
+        store, specs = self._filled(tmp_path, count=3)
+        clock["now"] -= 3600.0  # NTP steps the clock an hour back...
+        store.get_result(specs[1].key())  # ...then the MRU touch lands
+        sizes = {e["key"]: e["size_bytes"] for e in store.entries()}
+        store.gc(max_bytes=sizes[specs[1].key()])
+        remaining = [e["key"] for e in store.entries()]
+        assert remaining == [specs[1].key()]
+
     def test_gc_without_budget_is_a_no_op(self, tmp_path):
         store, _ = self._filled(tmp_path)
         report = store.gc()

@@ -47,7 +47,7 @@ def miss_trace():
 
 class TestResolution:
     def test_engine_names(self):
-        assert ENGINES == ("auto", "reference", "fast")
+        assert ENGINES == ("auto", "reference", "fast", "batch")
 
     def test_invalid_engine_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown engine"):
