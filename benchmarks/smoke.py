@@ -31,6 +31,7 @@ from pathlib import Path
 import repro
 from repro import ENGINES, ExperimentStore, MissStreamCache, Runner, RunSpec
 from repro.analysis.figures import figure7_configs
+from repro.obs import REGISTRY, PhaseProfiler, set_enabled
 
 #: Small but behaviour-diverse: strided, pointer-walk, interleaved, noise.
 SMOKE_APPS = ("galgel", "swim", "ammp", "eon")
@@ -186,6 +187,52 @@ def streaming_phase(runner: Runner, spec: RunSpec, repeats: int) -> dict:
     }
 
 
+def obs_phase(runner: Runner, specs: list[RunSpec], repeats: int) -> dict:
+    """Measure what the telemetry itself costs, and what it observed.
+
+    ``obs_overhead_fraction`` times the primary batch with the whole
+    observability layer on vs switched off (``set_enabled(False)`` —
+    the same switch ``REPRO_OBS_DISABLED=1`` throws); CI gates it
+    below 5%. The two timings are interleaved within the same window
+    (fastest-of-N each) so machine-load drift between benchmark phases
+    cannot masquerade as instrumentation overhead. The service latency
+    quantiles come straight from the process-wide registry, which the
+    streaming and distributed phases populated through the real
+    ``ExperimentService.handle`` path.
+    """
+    enabled_elapsed = disabled_elapsed = float("inf")
+    for _ in range(max(2, repeats)):
+        started = time.perf_counter()
+        runner.run(specs)
+        enabled_elapsed = min(enabled_elapsed, time.perf_counter() - started)
+        set_enabled(False)
+        try:
+            started = time.perf_counter()
+            runner.run(specs)
+            disabled_elapsed = min(disabled_elapsed, time.perf_counter() - started)
+        finally:
+            set_enabled(True)
+    overhead = (
+        (enabled_elapsed - disabled_elapsed) / disabled_elapsed
+        if disabled_elapsed and disabled_elapsed != float("inf")
+        else 0.0
+    )
+    http_seconds = REGISTRY.get("repro_http_request_seconds")
+    summary = (
+        http_seconds.summary()
+        if http_seconds is not None
+        else {"count": 0, "p50": 0.0, "p99": 0.0}
+    )
+    return {
+        "obs_enabled_seconds": round(enabled_elapsed, 4),
+        "obs_disabled_seconds": round(disabled_elapsed, 4),
+        "obs_overhead_fraction": round(max(0.0, overhead), 4),
+        "service_requests_observed": int(summary["count"]),
+        "service_p50_ms": round(summary["p50"] * 1000.0, 3),
+        "service_p99_ms": round(summary["p99"] * 1000.0, 3),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_smoke.json", help="output JSON path")
@@ -226,12 +273,14 @@ def main(argv: list[str] | None = None) -> int:
     ]
     cache = MissStreamCache()
     runner = Runner(cache=cache)
+    profiler = PhaseProfiler()
 
     # Phase 1 (TLB filtering) is shared by every engine and cached;
     # time it separately so the engine comparison is replay-only.
     started = time.perf_counter()
-    for spec in specs:
-        runner.miss_stream_for(spec)
+    with profiler.phase("tlb_filter"):
+        for spec in specs:
+            runner.miss_stream_for(spec)
     filter_elapsed = time.perf_counter() - started
     filters = cache.misses
 
@@ -241,24 +290,25 @@ def main(argv: list[str] | None = None) -> int:
     batch_specs = [spec.derive(engine="batch") for spec in specs]
     reference_elapsed = elapsed = batch_elapsed = float("inf")
     reference = results = batch_results = None
-    for _ in range(max(1, args.repeats)):
-        started = time.perf_counter()
-        reference = runner.run(reference_specs)
-        reference_elapsed = min(reference_elapsed, time.perf_counter() - started)
-
-        started = time.perf_counter()
-        results = runner.run(specs)
-        elapsed = min(elapsed, time.perf_counter() - started)
-
-        # The one-pass batch engine: same specs, every stream group
-        # replayed in a single fused loop (repro.sim.batchpath). Its
-        # window is several times shorter than the others, so a burst
-        # of scheduler noise distorts it proportionally more — take
-        # three samples per repetition to keep the min estimate tight.
-        for _ in range(3):
+    with profiler.phase("engines"):
+        for _ in range(max(1, args.repeats)):
             started = time.perf_counter()
-            batch_results = runner.run(batch_specs)
-            batch_elapsed = min(batch_elapsed, time.perf_counter() - started)
+            reference = runner.run(reference_specs)
+            reference_elapsed = min(reference_elapsed, time.perf_counter() - started)
+
+            started = time.perf_counter()
+            results = runner.run(specs)
+            elapsed = min(elapsed, time.perf_counter() - started)
+
+            # The one-pass batch engine: same specs, every stream group
+            # replayed in a single fused loop (repro.sim.batchpath). Its
+            # window is several times shorter than the others, so a burst
+            # of scheduler noise distorts it proportionally more — take
+            # three samples per repetition to keep the min estimate tight.
+            for _ in range(3):
+                started = time.perf_counter()
+                batch_results = runner.run(batch_specs)
+                batch_elapsed = min(batch_elapsed, time.perf_counter() - started)
 
     engines_identical = results.to_json() == reference.to_json()
     batch_identical = batch_results.to_json() == reference.to_json()
@@ -281,7 +331,9 @@ def main(argv: list[str] | None = None) -> int:
     # its wall-clock is replay + store write-back, directly comparable
     # to `elapsed` (the write-back overhead budget is <5%); the warm
     # pass must be 100% store hits — zero replays — and bit-identical.
-    with tempfile.TemporaryDirectory(prefix="repro-store-smoke-") as store_root:
+    with profiler.phase("store"), tempfile.TemporaryDirectory(
+        prefix="repro-store-smoke-"
+    ) as store_root:
         # Fastest-of-repeats like the engine timings (a cold pass needs
         # a fresh store each time); warm timing reuses the last store.
         store_cold_elapsed = store_warm_elapsed = float("inf")
@@ -316,11 +368,12 @@ def main(argv: list[str] | None = None) -> int:
 
     # Streaming/checkpoint phase: one representative spec resumed from
     # a mid-stream checkpoint and chunked through the /streams API.
-    streaming = streaming_phase(
-        runner,
-        RunSpec.of("galgel", "DP", scale=args.scale, rows=256),
-        args.repeats,
-    )
+    with profiler.phase("streaming"):
+        streaming = streaming_phase(
+            runner,
+            RunSpec.of("galgel", "DP", scale=args.scale, rows=256),
+            args.repeats,
+        )
 
     # Distributed phase: the same batch through the scheduler + a real
     # worker fleet, recording end-to-end throughput and worker scaling.
@@ -333,9 +386,16 @@ def main(argv: list[str] | None = None) -> int:
         "distributed_scaling_speedup": None,
     }
     if args.distributed_workers > 0:
-        distributed = distributed_phase(
-            specs, results.to_json(), args.distributed_workers
-        )
+        with profiler.phase("distributed"):
+            distributed = distributed_phase(
+                specs, results.to_json(), args.distributed_workers
+            )
+
+    # Observability phase: what did the telemetry layer itself cost,
+    # and what service latencies did it observe along the way?
+    with profiler.phase("obs"):
+        obs_record = obs_phase(runner, specs, args.repeats)
+    profile = profiler.report()
 
     # Track the paper's representative DP configuration explicitly
     # (r=256, direct-mapped) — pivot would silently keep whichever DP
@@ -374,6 +434,14 @@ def main(argv: list[str] | None = None) -> int:
         "store_bytes": store_bytes,
         **streaming,
         **distributed,
+        **obs_record,
+        "phase_seconds": {
+            name: round(seconds, 4)
+            for name, seconds in profile["phase_seconds"].items()
+        },
+        "profiled_seconds": round(profile["profiled_seconds"], 4),
+        "total_seconds": round(profile["total_seconds"], 4),
+        "peak_rss_bytes": profile["peak_rss_bytes"],
         "mean_dp256_accuracy": round(
             sum(run.prediction_accuracy for run in dp_repr) / len(dp_repr), 4
         ),
@@ -413,6 +481,16 @@ def main(argv: list[str] | None = None) -> int:
         f"{streaming['warm_start_speedup']}x warm-start speedup; "
         f"{streaming['stream_entries_per_second']} entries/s chunked "
         f"through /streams, bit-identical={streaming['streaming_identical']}"
+    )
+    print(
+        f"[smoke] obs: {obs_record['obs_overhead_fraction'] * 100:.1f}% "
+        f"instrumentation overhead (instrumented "
+        f"{obs_record['obs_enabled_seconds']:.2f}s vs disabled "
+        f"{obs_record['obs_disabled_seconds']:.2f}s); service p50 "
+        f"{obs_record['service_p50_ms']:.1f}ms / p99 "
+        f"{obs_record['service_p99_ms']:.1f}ms over "
+        f"{obs_record['service_requests_observed']} requests; peak RSS "
+        f"{record['peak_rss_bytes'] // (1024 * 1024)} MiB"
     )
     if distributed["distributed_workers"]:
         print(

@@ -35,12 +35,20 @@ Distributed sweeps (see README "Distributed sweeps")::
     repro-tlb jobs cancel --url http://127.0.0.1:8321 --sweep SWEEP_ID
     repro-tlb figure7 --scale 0.25 --service-url http://127.0.0.1:8321
 
+Observability (see README "Observability")::
+
+    repro-tlb top --url http://127.0.0.1:8321             # live summary
+    repro-tlb trace --url http://127.0.0.1:8321           # list traces
+    repro-tlb trace --url http://127.0.0.1:8321 --trace-id ID
+    repro-tlb trace --file spans.json --json
+
 (Equivalently ``python -m repro.cli ...``.)
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -337,6 +345,39 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_scale(submit)
     _add_engine(submit)
 
+    trace = sub.add_parser(
+        "trace", help="inspect distributed traces (ASCII flame or JSON)"
+    )
+    trace_source = trace.add_mutually_exclusive_group(required=True)
+    trace_source.add_argument(
+        "--url", help="scheduler service address (repro-tlb serve)"
+    )
+    trace_source.add_argument(
+        "--file", help="JSON span dump (a list of spans, or {'spans': [...]})"
+    )
+    trace.add_argument(
+        "--trace-id",
+        help="trace to render; omitted with --url, lists trace summaries",
+    )
+    trace.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the raw span JSON instead of the flame rendering",
+    )
+    _add_request_timeout(trace)
+
+    top = sub.add_parser(
+        "top", help="live one-screen service summary (rps, latency, queues)"
+    )
+    _add_url(top)
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (no screen clearing)",
+    )
+
     jobs = sub.add_parser("jobs", help="inspect or cancel scheduler sweeps")
     jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
     jobs_status = jobs_sub.add_parser(
@@ -568,6 +609,76 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.obs import render_flame
+
+    if args.file:
+        with open(args.file) as handle:
+            payload = json_module.load(handle)
+        spans = payload.get("spans", []) if isinstance(payload, dict) else payload
+        if args.trace_id:
+            spans = [
+                span for span in spans if span.get("trace_id") == args.trace_id
+            ]
+    else:
+        from repro.sched import SchedulerClient
+
+        client = SchedulerClient(args.url, timeout=args.request_timeout)
+        if not args.trace_id:
+            traces = client.fetch_trace()["traces"]
+            if not traces:
+                print("no traces collected")
+                return 0
+            print(f"{'trace id':<18} {'spans':>6} {'duration':>10}  root")
+            for summary in traces:
+                print(
+                    f"{summary['trace_id']:<18} {summary['spans']:>6} "
+                    f"{summary['duration'] * 1000.0:>8.1f}ms  {summary['root']}"
+                )
+            print(f"{len(traces)} trace(s); rerun with --trace-id to render one")
+            return 0
+        spans = client.fetch_trace(args.trace_id)["spans"]
+    if args.as_json:
+        print(json_module.dumps(spans, indent=2))
+        return 0
+    if not spans:
+        print("no spans" + (f" for trace {args.trace_id}" if args.trace_id else ""))
+        return 1
+    print(render_flame(spans))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from repro.obs.console import render_top
+    from repro.sched import SchedulerClient
+
+    client = SchedulerClient(args.url, timeout=args.request_timeout)
+    previous: dict | None = None
+    previous_at: float | None = None
+    try:
+        while True:
+            stats = client.stats()
+            now = time_module.monotonic()
+            interval = (
+                now - previous_at if previous_at is not None else None
+            )
+            frame = render_top(stats, previous=previous, interval=interval)
+            if not args.once:
+                # Clear-and-home rather than scroll: one refreshing screen.
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            if args.once:
+                return 0
+            previous, previous_at = stats, now
+            time_module.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
     from repro.sched import SchedulerClient
 
@@ -601,6 +712,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: the Unix-conventional
+        # quiet exit, not a traceback. Detach stdout so the interpreter
+        # shutdown flush doesn't raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -624,6 +742,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_worker(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "jobs":
         return _cmd_jobs(args)
     if args.command == "table1":

@@ -1,0 +1,119 @@
+"""One-screen live service summary for ``repro-tlb top``.
+
+Pure rendering: :func:`render_top` turns one ``GET /stats`` envelope
+(plus, optionally, the previous poll for rate computation) into a
+fixed-shape text screen, reusing the repo's
+:mod:`repro.analysis.ascii_chart` helpers. The CLI loop owns the
+polling and the screen clearing; this module owns none of the I/O, so
+the layout is testable against canned payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.ascii_chart import bar, format_table
+
+
+def _rate(current: float, previous: float | None, interval: float | None) -> float | None:
+    if previous is None or not interval or interval <= 0:
+        return None
+    return max(0.0, (current - previous) / interval)
+
+
+def _hit_rate(hits: float, misses: float) -> float | None:
+    total = hits + misses
+    if total <= 0:
+        return None
+    return hits / total
+
+
+def _fmt_rate(value: float | None, suffix: str = "/s") -> str:
+    return "-" if value is None else f"{value:.1f}{suffix}"
+
+
+def _fmt_pct_bar(fraction: float | None, width: int = 20) -> str:
+    if fraction is None:
+        return "-"
+    return f"{fraction * 100.0:5.1f}% {bar(fraction, width=width)}"
+
+
+def render_top(
+    stats: dict[str, Any],
+    previous: dict[str, Any] | None = None,
+    interval: float | None = None,
+) -> str:
+    """Render one ``/stats`` snapshot as a one-screen summary.
+
+    Args:
+        stats: decoded ``GET /stats`` payload.
+        previous: the prior poll's payload, for requests-per-second.
+        interval: seconds between the two polls.
+    """
+    metrics = stats.get("metrics", {})
+    queue = stats.get("queue", {})
+    store = stats.get("store", {})
+    cache = stats.get("stream_cache", {})
+    streams = stats.get("streams", {})
+
+    prev_metrics = (previous or {}).get("metrics", {})
+    rps = _rate(
+        metrics.get("http_requests", 0),
+        prev_metrics.get("http_requests") if previous else None,
+        interval,
+    )
+
+    lines = ["repro-tlb top"]
+    lines.append(
+        "service   "
+        f"rps {_fmt_rate(rps)}   "
+        f"requests {metrics.get('http_requests', 0)}   "
+        f"p50 {metrics.get('http_p50_ms', 0.0):.1f}ms   "
+        f"p99 {metrics.get('http_p99_ms', 0.0):.1f}ms"
+    )
+    if "replays" in metrics:
+        lines.append(
+            "replay    "
+            f"count {metrics.get('replays', 0)}   "
+            f"p50 {metrics.get('replay_p50_ms', 0.0):.1f}ms"
+        )
+    lines.append("")
+
+    lines.append(
+        format_table(
+            ("queue", "jobs"),
+            [
+                (state, queue.get(state, 0))
+                for state in ("queued", "running", "done", "failed", "cancelled")
+            ],
+        )
+    )
+    lines.append("")
+
+    result_rate = _hit_rate(
+        store.get("result_hits", 0), store.get("result_misses", 0)
+    )
+    stream_rate = _hit_rate(
+        store.get("stream_hits", 0), store.get("stream_misses", 0)
+    )
+    cache_rate = _hit_rate(cache.get("hits", 0), cache.get("misses", 0))
+    lines.append("hit rates")
+    lines.append(f"  store results   {_fmt_pct_bar(result_rate)}")
+    lines.append(f"  store streams   {_fmt_pct_bar(stream_rate)}")
+    lines.append(f"  stream cache    {_fmt_pct_bar(cache_rate)}")
+    lines.append("")
+    lines.append(
+        "store     "
+        f"{store.get('result_entries', 0)} results, "
+        f"{store.get('stream_entries', 0)} streams, "
+        f"{store.get('ckpt_entries', 0)} ckpts, "
+        f"{store.get('total_bytes', 0)} bytes"
+    )
+    lines.append(
+        "sessions  "
+        f"active {streams.get('active', 0)}   "
+        f"restored {streams.get('restored', 0)}   "
+        f"evicted {streams.get('evicted', 0)}   "
+        f"spans {metrics.get('spans_collected', 0)}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Structured logging for the service layer.
+
+The ``repro.obs`` logger carries access-log lines (method, path,
+status, latency) and scheduler/worker events. It is quiet by default —
+a ``NullHandler`` swallows everything — and turns on a simple stderr
+console handler when either the server runs with ``--verbose`` or the
+``REPRO_OBS_LOG`` environment variable names a level (e.g.
+``REPRO_OBS_LOG=info``). This replaces the old behaviour of the HTTP
+handler discarding access logs outright.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+LOGGER_NAME = "repro.obs"
+ENV_LOG = "REPRO_OBS_LOG"
+
+_configured = False
+
+
+def get_logger(child: str | None = None) -> logging.Logger:
+    """The ``repro.obs`` logger (or a dotted child of it).
+
+    First call installs a NullHandler and, if ``REPRO_OBS_LOG`` is
+    set, a console handler at that level.
+    """
+    global _configured
+    logger = logging.getLogger(LOGGER_NAME)
+    if not _configured:
+        _configured = True
+        if not logger.handlers:
+            logger.addHandler(logging.NullHandler())
+        env_level = os.environ.get(ENV_LOG, "").strip()
+        if env_level:
+            enable_console(env_level)
+    if child:
+        return logger.getChild(child)
+    return logger
+
+
+def enable_console(level: str | int = "info") -> logging.Logger:
+    """Attach a stderr handler so obs log lines become visible.
+
+    Idempotent — repeated calls adjust the level instead of stacking
+    duplicate handlers.
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    if isinstance(level, str):
+        level = getattr(logging, level.upper(), logging.INFO)
+    handler = None
+    for existing in logger.handlers:
+        if getattr(existing, "_repro_obs_console", False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler()
+        handler._repro_obs_console = True  # type: ignore[attr-defined]
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    handler.setLevel(level)
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,72 @@
+"""Lightweight profiling hooks: per-phase wall clock and peak RSS.
+
+Used by ``benchmarks/smoke.py`` to attribute wall-clock time to named
+phases and to record the process's high-water memory mark — stdlib
+only (``resource.getrusage``), no psutil.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sys
+import time
+from typing import Iterator
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if unknown).
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS.
+    """
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock per named phase.
+
+    >>> prof = PhaseProfiler()
+    >>> with prof.phase("warmup"):
+    ...     pass
+    >>> sorted(prof.report()["phase_seconds"])
+    ['warmup']
+
+    Re-entering a phase name accumulates, so repeated phases (e.g. the
+    engine repeats loop) sum into a single line.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+        self._order: list[str] = []
+        self._began = time.perf_counter()
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self._seconds:
+                self._order.append(name)
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+
+    def report(self) -> dict:
+        """Phase timings plus totals, ready for a BENCH json record."""
+        total = time.perf_counter() - self._began
+        accounted = sum(self._seconds.values())
+        return {
+            "phase_seconds": {name: self._seconds[name] for name in self._order},
+            "profiled_seconds": accounted,
+            "total_seconds": total,
+            "peak_rss_bytes": peak_rss_bytes(),
+        }

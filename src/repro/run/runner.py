@@ -32,6 +32,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -40,6 +41,7 @@ from pathlib import Path
 
 from repro.mem.address import DEFAULT_PAGE_SIZE
 from repro.mem.trace import MissTrace, ReferenceTrace
+from repro.obs import REGISTRY, bind_context, drain_spans, trace
 from repro.run.results import ResultSet
 from repro.run.spec import RunSpec
 from repro.store.store import (
@@ -49,11 +51,34 @@ from repro.store.store import (
 )
 from repro.sim import batchpath
 from repro.sim.config import TLBConfig
-from repro.sim.engine import batch_available, replay as engine_replay
+from repro.sim.engine import batch_available, replay as engine_replay, resolve_engine
 from repro.sim.stats import PrefetchRunStats
 from repro.sim.sweep import rescale_trace
 from repro.sim.two_phase import filter_tlb
 from repro.workloads.registry import get_trace
+
+#: Replay/stream telemetry. Instrumented per *replay* and per *stream
+#: build* — never per miss entry — so the overhead stays far below the
+#: smoke bench's 5% budget.
+_OBS_REPLAY_SECONDS = REGISTRY.histogram(
+    "repro_replay_seconds",
+    "Wall-clock per replay by resolved engine.",
+    labels=("engine",),
+)
+_OBS_REPLAY_ENTRIES = REGISTRY.counter(
+    "repro_replay_entries_total",
+    "Miss-stream entries replayed (batch replays count once per spec).",
+    labels=("engine",),
+)
+_OBS_STREAM_BUILD_SECONDS = REGISTRY.histogram(
+    "repro_stream_build_seconds",
+    "Wall-clock per phase-1 TLB filter (miss-stream build).",
+)
+_OBS_STREAM_CACHE = REGISTRY.counter(
+    "repro_stream_cache_events_total",
+    "In-process miss-stream cache events (hits, misses, evictions).",
+    labels=("event",),
+)
 
 
 class MissStreamCache:
@@ -100,6 +125,7 @@ class MissStreamCache:
         if cached is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            _OBS_STREAM_CACHE.inc(event="hit")
         return cached
 
     def get_or_build(self, key: tuple, build: Callable[[], MissTrace]) -> MissTrace:
@@ -117,12 +143,14 @@ class MissStreamCache:
                 if cached is not None:
                     return cached
                 self.misses += 1
+                _OBS_STREAM_CACHE.inc(event="miss")
             built = build()
             with self._lock:
                 self._entries[key] = built
                 while len(self._entries) > self.maxsize:
                     self._entries.popitem(last=False)
                     self.evictions += 1
+                    _OBS_STREAM_CACHE.inc(event="eviction")
             return built
 
     def stats(self) -> dict[str, int]:
@@ -167,10 +195,14 @@ SHARED_CACHE = MissStreamCache()
 
 def build_miss_stream(spec: RunSpec) -> MissTrace:
     """Phase 1 for a spec: build (or fetch) the trace, filter the TLB."""
-    trace = get_trace(spec.workload, spec.scale)
-    if spec.page_size != DEFAULT_PAGE_SIZE:
-        trace = rescale_trace(trace, spec.page_size)
-    return filter_tlb(trace, spec.tlb, spec.warmup_fraction)
+    began = time.perf_counter()
+    with trace("stream.build", workload=spec.workload, scale=spec.scale):
+        reference = get_trace(spec.workload, spec.scale)
+        if spec.page_size != DEFAULT_PAGE_SIZE:
+            reference = rescale_trace(reference, spec.page_size)
+        stream = filter_tlb(reference, spec.tlb, spec.warmup_fraction)
+    _OBS_STREAM_BUILD_SECONDS.observe(time.perf_counter() - began)
+    return stream
 
 
 def _replay(spec: RunSpec, miss_trace: MissTrace) -> PrefetchRunStats:
@@ -181,13 +213,24 @@ def _replay(spec: RunSpec, miss_trace: MissTrace) -> PrefetchRunStats:
     engine otherwise — bit-identical either way, see
     :mod:`repro.sim.engine`).
     """
-    stats = engine_replay(
-        miss_trace,
-        spec.build_prefetcher(),
-        buffer_entries=spec.buffer_entries,
-        max_prefetches_per_miss=spec.max_prefetches_per_miss,
-        engine=spec.engine,
-    )
+    prefetcher = spec.build_prefetcher()
+    resolved = resolve_engine(prefetcher, spec.engine)
+    began = time.perf_counter()
+    with trace(
+        "replay",
+        workload=spec.workload,
+        mechanism=spec.mechanism.label,
+        engine=resolved,
+    ):
+        stats = engine_replay(
+            miss_trace,
+            prefetcher,
+            buffer_entries=spec.buffer_entries,
+            max_prefetches_per_miss=spec.max_prefetches_per_miss,
+            engine=spec.engine,
+        )
+    _OBS_REPLAY_SECONDS.observe(time.perf_counter() - began, engine=resolved)
+    _OBS_REPLAY_ENTRIES.inc(len(miss_trace), engine=resolved)
     return annotate_stats(stats, spec)
 
 
@@ -212,6 +255,29 @@ def _run_group(specs: tuple[RunSpec, ...]) -> list[PrefetchRunStats]:
     """
     runner = Runner()
     return runner._run_serial(list(specs))
+
+
+def _run_group_traced(
+    specs: tuple[RunSpec, ...], trace_ctx: str | None
+) -> tuple[list[PrefetchRunStats], list[dict]]:
+    """Pool entry that carries trace context across the fork boundary.
+
+    The parent's ``"trace_id:span_id"`` context rides in as a plain
+    string; spans recorded inside this worker process are drained and
+    shipped back with the rows so the parent's collector holds the
+    whole trace. Rows are exactly ``_run_group``'s — tracing never
+    touches the replay results.
+    """
+    # Under the ``fork`` start method the child inherits the parent's
+    # span collector; drop that inheritance so the drain below ships
+    # only spans this task produced (the parent already has its own).
+    from repro.obs import COLLECTOR
+
+    COLLECTOR.clear()
+    with bind_context(trace_ctx):
+        with trace("pool.group", specs=len(specs)):
+            rows = _run_group(specs)
+    return rows, drain_spans()
 
 
 class Runner:
@@ -506,12 +572,24 @@ class Runner:
             miss_trace = None
             for _, spec, _ in batchable:
                 miss_trace = self.miss_stream_for(spec)
-            stats = batchpath.replay_batch(
-                miss_trace,
-                [
-                    (p, spec.buffer_entries, spec.max_prefetches_per_miss)
-                    for _, spec, p in batchable
-                ],
+            began = time.perf_counter()
+            with trace(
+                "replay.batch",
+                workload=batchable[0][1].workload,
+                specs=len(batchable),
+            ):
+                stats = batchpath.replay_batch(
+                    miss_trace,
+                    [
+                        (p, spec.buffer_entries, spec.max_prefetches_per_miss)
+                        for _, spec, p in batchable
+                    ],
+                )
+            _OBS_REPLAY_SECONDS.observe(
+                time.perf_counter() - began, engine="batch"
+            )
+            _OBS_REPLAY_ENTRIES.inc(
+                len(miss_trace) * len(batchable), engine="batch"
             )
             for (index, spec, _), row in zip(batchable, stats):
                 results[index] = annotate_stats(row, spec)
@@ -547,14 +625,23 @@ class Runner:
             groups.setdefault(spec.stream_key(), []).append(index)
         workers = min(self.workers, len(groups), os.cpu_count() or 1)
         results: list[PrefetchRunStats | None] = [None] * len(spec_list)
+        from repro.obs import COLLECTOR, current_context
+
+        trace_ctx = current_context()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(
-                    _run_group, tuple(spec_list[i] for i in indices)
+                    _run_group_traced,
+                    tuple(spec_list[i] for i in indices),
+                    trace_ctx,
                 ): indices
                 for indices in groups.values()
             }
             for future in as_completed(futures):
-                for index, stats in zip(futures[future], future.result()):
+                rows, spans = future.result()
+                for index, stats in zip(futures[future], rows):
                     results[index] = stats
+                # Merge worker-process spans into the parent collector
+                # so the batch reads as one trace.
+                COLLECTOR.ingest(spans)
         return results  # type: ignore[return-value]

@@ -20,9 +20,10 @@ from collections.abc import Iterable
 from typing import Any
 
 from repro.errors import SchedulerError
+from repro.obs import drain_spans, trace
 from repro.run.results import ResultSet
 from repro.run.spec import RunSpec
-from repro.service.client import ServiceClient
+from repro.service.client import ServiceClient, ServiceError
 from repro.sim.stats import PrefetchRunStats
 
 
@@ -114,6 +115,25 @@ class SchedulerClient(ServiceClient):
         """``POST /cancel``: cancel a sweep's queued jobs."""
         return self.request("/cancel", {"sweep_id": sweep_id})
 
+    def push_spans(self, spans: list[dict]) -> dict:
+        """``POST /trace``: ship locally collected spans to the service.
+
+        Idempotent in effect (span ids dedupe nothing server-side, but
+        workers only push freshly drained spans, so retry-after-success
+        is the only duplication risk and is cosmetic) — still marked
+        non-idempotent to keep the failure mode a clean drop.
+        """
+        return self.request("/trace", {"spans": spans})
+
+    def fetch_trace(self, trace_id: str | None = None) -> dict:
+        """``GET /trace``: one trace's spans, or summaries of all."""
+        suffix = (
+            "?" + urllib.parse.urlencode({"trace_id": trace_id})
+            if trace_id is not None
+            else ""
+        )
+        return self.request("/trace" + suffix)
+
     # -- the high-level sweep driver ---------------------------------------
 
     def submit_sweep(
@@ -144,30 +164,48 @@ class SchedulerClient(ServiceClient):
         if not spec_dicts:
             return ResultSet()
         sweep_id = sweep_id or f"sweep-{uuid.uuid4().hex[:12]}"
-        self.submit_jobs(spec_dicts, sweep_id=sweep_id, max_attempts=max_attempts)
-        deadline = None if timeout is None else time.monotonic() + timeout
-        while True:
-            progress = self.progress(sweep_id)
-            if progress["failed"] or progress["cancelled"]:
-                details = "; ".join(
-                    f"{job['id']} ({job['spec_key']}): {job['error']}"
-                    for job in progress.get("failed_jobs", [])
-                ) or f"{progress['cancelled']} job(s) cancelled"
-                raise SchedulerError(
-                    f"sweep {sweep_id} finished with {progress['failed']} failed "
-                    f"and {progress['cancelled']} cancelled job(s): {details}"
-                )
-            if progress["pending"] == 0:
-                break
-            if deadline is not None and time.monotonic() >= deadline:
-                raise SchedulerError(
-                    f"sweep {sweep_id} timed out with {progress['pending']} "
-                    f"job(s) still pending (of {progress['total']})"
-                )
-            time.sleep(poll_interval)
-        # One batch fetch for the whole sweep: every key is in the store
-        # now, so the store-backed ``POST /runs`` serves the rows in
-        # submission order (duplicates sharing one row) without
-        # simulating anything — and without N per-key round trips.
-        fetched = self.submit(spec_dicts)
+        # One root span for the whole sweep: every request below rides
+        # under it (the client injects X-Repro-Trace), so the service
+        # and every worker that touches this sweep's jobs contribute
+        # spans to a single connected trace.
+        with trace("sweep", sweep_id=sweep_id, specs=len(spec_dicts)):
+            self.submit_jobs(
+                spec_dicts, sweep_id=sweep_id, max_attempts=max_attempts
+            )
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while True:
+                progress = self.progress(sweep_id)
+                if progress["failed"] or progress["cancelled"]:
+                    details = "; ".join(
+                        f"{job['id']} ({job['spec_key']}): {job['error']}"
+                        for job in progress.get("failed_jobs", [])
+                    ) or f"{progress['cancelled']} job(s) cancelled"
+                    raise SchedulerError(
+                        f"sweep {sweep_id} finished with {progress['failed']} failed "
+                        f"and {progress['cancelled']} cancelled job(s): {details}"
+                    )
+                if progress["pending"] == 0:
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise SchedulerError(
+                        f"sweep {sweep_id} timed out with {progress['pending']} "
+                        f"job(s) still pending (of {progress['total']})"
+                    )
+                time.sleep(poll_interval)
+            # One batch fetch for the whole sweep: every key is in the
+            # store now, so the store-backed ``POST /runs`` serves the
+            # rows in submission order (duplicates sharing one row)
+            # without simulating anything — and without N per-key round
+            # trips.
+            fetched = self.submit(spec_dicts)
+        # Ship the locally recorded spans — including the sweep root
+        # that just closed — to the service, so the assembled trace is
+        # complete server-side (workers pushed theirs the same way).
+        # Best-effort: a lost push never fails a drained sweep.
+        spans = drain_spans()
+        if spans:
+            try:
+                self.push_spans(spans)
+            except ServiceError:
+                pass
         return ResultSet(PrefetchRunStats(**run) for run in fetched["runs"])

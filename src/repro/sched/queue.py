@@ -46,9 +46,25 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import SchedulerError
+from repro.obs import REGISTRY
 
 #: Version stamp on the queue index.
 SCHED_SCHEMA = "repro.sched/v1"
+
+#: This process's share of the persistent queue counters (claims,
+#: completes, retries, requeues, …), mirrored at ``_bump`` time so
+#: ``GET /metrics`` reflects live scheduler activity. The persistent
+#: counters table stays authoritative across restarts.
+_OBS_EVENTS = REGISTRY.counter(
+    "repro_sched_events_total",
+    "Scheduler lifecycle events (claims, completes, retries, …) this process.",
+    labels=("name",),
+)
+_OBS_DEPTH = REGISTRY.gauge(
+    "repro_sched_jobs",
+    "Jobs per state at last queue stats/progress refresh.",
+    labels=("state",),
+)
 
 #: Job lifecycle states.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -185,6 +201,7 @@ class JobQueue:
             "ON CONFLICT(name) DO UPDATE SET value = value + excluded.value",
             (name, delta),
         )
+        _OBS_EVENTS.inc(delta, name=name)
 
     def _fetch_job(self, job_id: str) -> tuple | None:
         return self._db.execute(
@@ -543,6 +560,8 @@ class JobQueue:
             counters = dict(
                 self._db.execute("SELECT name, value FROM counters").fetchall()
             )
+        for state in JOB_STATES:
+            _OBS_DEPTH.set(counts.get(state, 0), state=state)
         return {
             "schema": SCHED_SCHEMA,
             "path": str(self.path),

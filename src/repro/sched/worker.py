@@ -35,11 +35,33 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Any
 
+from repro.obs import REGISTRY, bind_context, drain_spans, get_logger, trace
 from repro.run.runner import MissStreamCache, Runner
 from repro.run.spec import RunSpec
 from repro.sched.client import SchedulerClient
 from repro.service.client import ServiceError
 from repro.store import ExperimentStore
+
+_OBS_CLAIM_SECONDS = REGISTRY.histogram(
+    "repro_worker_claim_seconds",
+    "Wall-clock per claim round trip (including empty claims).",
+)
+_OBS_HEARTBEAT_SECONDS = REGISTRY.histogram(
+    "repro_worker_heartbeat_seconds",
+    "Wall-clock per heartbeat round trip.",
+)
+_OBS_HEARTBEATS = REGISTRY.counter(
+    "repro_worker_heartbeats_total",
+    "Heartbeats sent, by outcome.",
+    labels=("outcome",),
+)
+_OBS_JOB_SECONDS = REGISTRY.histogram(
+    "repro_worker_job_seconds",
+    "Wall-clock per processed job, by outcome.",
+    labels=("outcome",),
+)
+
+_LOG = get_logger("worker")
 
 
 def default_worker_id() -> str:
@@ -132,12 +154,14 @@ class Worker:
                     limit = min(
                         limit, self.max_jobs - (self.completed + self.failed)
                     )
+                claim_began = time.perf_counter()
                 try:
                     jobs = self.client.claim(
                         self.worker_id,
                         limit=limit,
                         lease_seconds=self.lease_seconds,
                     )
+                    _OBS_CLAIM_SECONDS.observe(time.perf_counter() - claim_began)
                 except ServiceError as exc:
                     if exc.status == 0:  # service down/restarting: keep polling
                         self._stop.wait(self.poll_interval)
@@ -169,6 +193,7 @@ class Worker:
                         break
                 with self._inflight_lock:
                     self._inflight.clear()
+                self._push_spans()
         finally:
             self._stop.set()
             heartbeater.join(timeout=5.0)
@@ -194,24 +219,43 @@ class Worker:
 
     def _process(self, job: dict[str, Any]) -> None:
         job_id = job["id"]
+        began = time.perf_counter()
+        # A job claimed from a traced sweep carries the sweep's trace
+        # context; binding it makes this worker's spans (job → replay →
+        # store-write) part of that one distributed trace.
         try:
-            try:
-                if self.slow_seconds:
-                    self._stop.wait(self.slow_seconds)
-                spec = RunSpec.from_dict(job["spec"])
-                if spec.key() in self.fail_keys:
-                    raise RuntimeError(f"injected failure for spec {spec.key()}")
-                # Store-backed runner: consult the store first, replay
-                # only on a miss, persist the fresh row locally too.
-                stats = self.runner.run([spec])[0]
-            except Exception as exc:  # noqa: BLE001 - report, don't die
-                self.failed += 1
-                self._report(
-                    job_id, error=f"{type(exc).__name__}: {exc}"
-                )
-                return
-            self.completed += 1
-            self._report(job_id, run=asdict(stats))
+            with bind_context(job.get("trace")):
+                with trace("worker.job", job_id=job_id, worker=self.worker_id):
+                    try:
+                        if self.slow_seconds:
+                            self._stop.wait(self.slow_seconds)
+                        spec = RunSpec.from_dict(job["spec"])
+                        if spec.key() in self.fail_keys:
+                            raise RuntimeError(
+                                f"injected failure for spec {spec.key()}"
+                            )
+                        # Store-backed runner: consult the store first,
+                        # replay only on a miss, persist the fresh row
+                        # locally too.
+                        stats = self.runner.run([spec])[0]
+                    except Exception as exc:  # noqa: BLE001 - report, don't die
+                        self.failed += 1
+                        _OBS_JOB_SECONDS.observe(
+                            time.perf_counter() - began, outcome="failed"
+                        )
+                        _LOG.warning(
+                            "worker %s job %s failed: %s",
+                            self.worker_id, job_id, exc,
+                        )
+                        self._report(
+                            job_id, error=f"{type(exc).__name__}: {exc}"
+                        )
+                        return
+                    self.completed += 1
+                    _OBS_JOB_SECONDS.observe(
+                        time.perf_counter() - began, outcome="completed"
+                    )
+                    self._report(job_id, run=asdict(stats))
         finally:
             with self._inflight_lock:
                 self._inflight.discard(job_id)
@@ -225,6 +269,24 @@ class Worker:
             # sweep still converges. Count it for observability.
             self.report_errors += 1
 
+    def _push_spans(self) -> None:
+        """Ship this worker's freshly collected spans to the service.
+
+        Guarded with ``getattr``: tests inject stub clients without the
+        trace endpoints, and a plain :class:`ServiceClient` predates
+        them — span shipping is strictly best-effort.
+        """
+        push = getattr(self.client, "push_spans", None)
+        if not callable(push):
+            return
+        spans = drain_spans()
+        if not spans:
+            return
+        try:
+            push(spans)
+        except ServiceError:
+            pass  # spans are observability, never worth failing the loop
+
     # -- heartbeats --------------------------------------------------------
 
     def _heartbeat_loop(self) -> None:
@@ -234,12 +296,16 @@ class Worker:
                 inflight = sorted(self._inflight)
             if not inflight:
                 continue
+            began = time.perf_counter()
             try:
                 self.client.heartbeat(
                     self.worker_id, inflight, lease_seconds=self.lease_seconds
                 )
             except ServiceError:
+                _OBS_HEARTBEATS.inc(outcome="error")
                 continue  # transient; the next beat (or lease slack) covers it
+            _OBS_HEARTBEAT_SECONDS.observe(time.perf_counter() - began)
+            _OBS_HEARTBEATS.inc(outcome="ok")
 
 
 def run_worker(

@@ -30,6 +30,45 @@ import urllib.request
 from typing import Any
 
 from repro.errors import ReproError
+from repro.obs import REGISTRY, TRACE_HEADER, current_context
+
+#: Client-side transport telemetry (satellite: surface retry/backoff
+#: behaviour in the registry, not just the bare ``client.retries`` int).
+_OBS_REQUESTS = REGISTRY.counter(
+    "repro_client_requests_total",
+    "Client requests by method and outcome (ok, http_error, unreachable).",
+    labels=("method", "outcome"),
+)
+_OBS_RETRIES = REGISTRY.counter(
+    "repro_client_retries_total",
+    "Transient-failure retries by cause.",
+    labels=("cause",),
+)
+_OBS_BACKOFF = REGISTRY.counter(
+    "repro_client_backoff_seconds_total",
+    "Cumulative seconds slept in retry backoff.",
+)
+
+
+def _retry_cause(exc: BaseException) -> str:
+    """Classify a transient transport failure for the retry counter."""
+    probe: BaseException | None = exc
+    if isinstance(exc, urllib.error.URLError) and exc.reason is not None:
+        reason = exc.reason
+        probe = reason if isinstance(reason, BaseException) else None
+        if probe is None:
+            return "unreachable"
+    if isinstance(probe, TimeoutError):
+        return "timeout"
+    if isinstance(probe, ConnectionRefusedError):
+        return "connection_refused"
+    if isinstance(probe, ConnectionResetError):
+        return "connection_reset"
+    if isinstance(probe, ConnectionError):
+        return "connection_error"
+    if isinstance(probe, OSError):
+        return "os_error"
+    return "unreachable"
 
 
 class ServiceError(ReproError):
@@ -73,6 +112,8 @@ class ServiceClient:
         self.retry_backoff = retry_backoff
         #: Total transient-failure retries this client has performed.
         self.retries = 0
+        #: Total seconds this client has slept in retry backoff.
+        self.backoff_seconds = 0.0
         # Private jitter source: drawing from the module-global RNG
         # would perturb the seeded stream of any host process (the
         # differential harness and hypothesis suites seed it).
@@ -101,16 +142,24 @@ class ServiceClient:
         if timeout is None:
             timeout = self.timeout
         attempt = 0
+        headers = {"Content-Type": "application/json"}
+        # Propagate the active trace so the server's spans (and any
+        # worker spans downstream of it) join the caller's trace.
+        trace_ctx = current_context()
+        if trace_ctx is not None:
+            headers[TRACE_HEADER] = trace_ctx
         while True:
             request = urllib.request.Request(
                 self.base_url + path,
                 data=data,
                 method=method,
-                headers={"Content-Type": "application/json"},
+                headers=headers,
             )
             try:
                 with urllib.request.urlopen(request, timeout=timeout) as response:
-                    return json.loads(response.read())
+                    decoded = json.loads(response.read())
+                _OBS_REQUESTS.inc(method=method, outcome="ok")
+                return decoded
             except urllib.error.HTTPError as exc:
                 body = exc.read()
                 try:
@@ -118,11 +167,13 @@ class ServiceClient:
                 except (json.JSONDecodeError, ValueError):
                     decoded = None
                 message = (decoded or {}).get("error", body.decode(errors="replace"))
+                _OBS_REQUESTS.inc(method=method, outcome="http_error")
                 raise ServiceError(
                     exc.code, decoded, f"{method} {path} -> {exc.code}: {message}"
                 ) from exc
             except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
                 if not idempotent or attempt >= self.max_retries:
+                    _OBS_REQUESTS.inc(method=method, outcome="unreachable")
                     raise ServiceError(
                         0, None, f"service unreachable at {self.base_url}: {exc}"
                     ) from exc
@@ -130,6 +181,9 @@ class ServiceClient:
                 delay += self._rng.uniform(0.0, self.retry_backoff)
                 attempt += 1
                 self.retries += 1
+                self.backoff_seconds += delay
+                _OBS_RETRIES.inc(cause=_retry_cause(exc))
+                _OBS_BACKOFF.inc(delay)
                 time.sleep(delay)
 
     def wait_ready(self, timeout: float = 10.0, interval: float = 0.1) -> dict:

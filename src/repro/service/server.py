@@ -44,6 +44,16 @@ from urllib.parse import parse_qsl, unquote, urlparse
 
 from repro.ckpt import CheckpointManager, ReplaySession, SessionSnapshot
 from repro.errors import CkptError, ReproError, StoreError
+from repro.obs import (
+    COLLECTOR,
+    REGISTRY,
+    TRACE_HEADER,
+    bind_context,
+    current_context,
+    enable_console,
+    get_logger,
+    trace,
+)
 from repro.run.results import ResultSet
 from repro.run.runner import MissStreamCache, Runner, annotate_stats
 from repro.run.spec import RunSpec
@@ -53,6 +63,59 @@ from repro.store import ExperimentStore
 
 #: Version stamp on every service response envelope.
 SERVICE_SCHEMA = "repro.service/v1"
+
+#: Per-route request accounting. Routes are *normalized* (keys and ids
+#: replaced by ``:key``/``:id`` placeholders) so label cardinality is
+#: bounded by the route table, not by the store's contents.
+_OBS_HTTP_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, normalized route, and status.",
+    labels=("method", "route", "status"),
+)
+_OBS_HTTP_SECONDS = REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency, by method and normalized route.",
+    labels=("method", "route"),
+)
+_OBS_STORE_ENTRIES = REGISTRY.gauge(
+    "repro_store_entries",
+    "Store index entries per artifact kind at last scrape.",
+    labels=("kind",),
+)
+_OBS_STORE_BYTES = REGISTRY.gauge(
+    "repro_store_total_bytes",
+    "Total bytes of stored artifacts at last scrape.",
+)
+_OBS_CACHE_ENTRIES = REGISTRY.gauge(
+    "repro_stream_cache_entries",
+    "Live entries in the service's miss-stream cache at last scrape.",
+)
+_OBS_SESSIONS = REGISTRY.gauge(
+    "repro_stream_sessions",
+    "Streaming replay sessions by lifecycle state.",
+    labels=("state",),
+)
+
+_KNOWN_ROUTES = frozenset(
+    (
+        "/stats", "/results", "/progress", "/runs", "/jobs", "/claim",
+        "/complete", "/heartbeat", "/cancel", "/streams", "/metrics", "/trace",
+    )
+)
+
+_LOG = get_logger("service")
+
+
+def _route_label(path: str) -> str:
+    """Collapse a request path onto its route template."""
+    if path.startswith("/runs/"):
+        return "/runs/:key"
+    if path.startswith("/jobs/"):
+        return "/jobs/:id"
+    if path.startswith("/streams/"):
+        _, _, verb = path[len("/streams/"):].partition("/")
+        return f"/streams/:id/{verb}" if verb else "/streams/:id"
+    return path if path in _KNOWN_ROUTES else "other"
 
 
 def _coerce(value: str) -> Any:
@@ -108,6 +171,11 @@ class ExperimentService:
         self._session_touched: dict[str, float] = {}
         self._sessions_restored = 0
         self._sessions_evicted = 0
+        # sweep_id -> the submitting request's trace context, so jobs
+        # claimed later (a different request, a different worker) can
+        # join the sweep's trace. Bounded FIFO; purely observability.
+        self._sweep_traces: dict[str, str] = {}
+        self._sweep_traces_max = 256
 
     # -- dispatch ----------------------------------------------------------
 
@@ -117,9 +185,35 @@ class ExperimentService:
         path: str,
         query: dict[str, str] | None = None,
         body: dict | None = None,
+        trace_parent: str | None = None,
     ) -> tuple[int, dict]:
-        """Dispatch one request; never raises — errors become payloads."""
+        """Dispatch one request; never raises — errors become payloads.
+
+        ``trace_parent`` is the caller's ``X-Repro-Trace`` context (if
+        any): the request span — and everything the handler does under
+        it, replays and store writes included — joins the caller's
+        trace instead of starting a fresh one.
+        """
         query = query or {}
+        route = _route_label(path)
+        began = time.perf_counter()
+        with bind_context(trace_parent):
+            with trace("http.request", method=method, route=route) as span:
+                status, payload = self._dispatch(method, path, query, body)
+                span.attrs["status"] = status
+        _OBS_HTTP_REQUESTS.inc(method=method, route=route, status=str(status))
+        _OBS_HTTP_SECONDS.observe(
+            time.perf_counter() - began, method=method, route=route
+        )
+        return status, payload
+
+    def _dispatch(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str],
+        body: dict | None,
+    ) -> tuple[int, dict]:
         try:
             if method == "GET" and path == "/stats":
                 return self._get_stats()
@@ -161,6 +255,10 @@ class ExperimentService:
                 return self._post_heartbeat(body if body is not None else {})
             if method == "POST" and path == "/cancel":
                 return self._post_cancel(body if body is not None else {})
+            if method == "POST" and path == "/trace":
+                return self._post_trace(body if body is not None else {})
+            if method == "GET" and path == "/trace":
+                return self._get_trace(query)
             return 404, self._envelope({"error": f"unknown route {method} {path}"})
         except (StoreError, CkptError) as exc:
             # A corrupt artifact (result row or checkpoint blob) is a
@@ -196,8 +294,49 @@ class ExperimentService:
                 "stream_cache": self.runner.cache.stats(),
                 "queue": self.queue.stats(),
                 "streams": streams,
+                "metrics": self._metrics_summary(),
             }
         )
+
+    def _metrics_summary(self) -> dict:
+        """Registry-derived latency/throughput digest for ``GET /stats``.
+
+        The full registry is on ``GET /metrics``; this is the
+        dashboard-sized cut (request latency quantiles, replay timing)
+        that ``repro-tlb top`` polls.
+        """
+        http = _OBS_HTTP_SECONDS.summary()
+        summary: dict[str, Any] = {
+            "http_requests": int(http["count"]),
+            "http_p50_ms": http["p50"] * 1000.0,
+            "http_p99_ms": http["p99"] * 1000.0,
+        }
+        replay = REGISTRY.get("repro_replay_seconds")
+        if replay is not None:
+            rep = replay.summary()
+            summary["replays"] = int(rep["count"])
+            summary["replay_p50_ms"] = rep["p50"] * 1000.0
+        summary["spans_collected"] = len(COLLECTOR)
+        return summary
+
+    def scrape_metrics(self) -> str:
+        """Prometheus text for ``GET /metrics``.
+
+        Scrape-time gauges (queue depth, store entry counts, live
+        sessions) are refreshed from the owning layers here, so the
+        exposition reflects current state, not last-touch state.
+        """
+        self.queue.stats()  # refreshes the repro_sched_jobs gauges
+        store_stats = self.store.stats()
+        for kind in ("result", "stream", "ckpt"):
+            _OBS_STORE_ENTRIES.set(store_stats[f"{kind}_entries"], kind=kind)
+        _OBS_STORE_BYTES.set(store_stats["total_bytes"])
+        _OBS_CACHE_ENTRIES.set(self.runner.cache.stats()["entries"])
+        with self._streams_lock:
+            _OBS_SESSIONS.set(len(self._sessions), state="active")
+            _OBS_SESSIONS.set(self._sessions_restored, state="restored")
+            _OBS_SESSIONS.set(self._sessions_evicted, state="evicted")
+        return REGISTRY.render()
 
     def _get_run(self, key: str) -> tuple[int, dict]:
         if not key or "/" in key:
@@ -526,6 +665,14 @@ class ExperimentService:
             return 400, self._envelope(
                 {"error": f"'max_attempts' must be a positive integer, got {max_attempts!r}"}
             )
+        # Remember the submitting request's trace context so claims of
+        # this sweep's jobs can hand it to workers (one connected trace
+        # per sweep across client, service, and the whole fleet).
+        sweep_ctx = current_context()
+        if sweep_ctx is not None:
+            self._sweep_traces[sweep_id] = sweep_ctx
+            while len(self._sweep_traces) > self._sweep_traces_max:
+                self._sweep_traces.pop(next(iter(self._sweep_traces)))
         keys = [spec.key() for spec in specs]
         stored = {key for key in set(keys) if self.store.has_result(key)}
         jobs = self.queue.submit(
@@ -596,6 +743,7 @@ class ExperimentService:
                             "attempts": job["attempts"],
                             "max_attempts": job["max_attempts"],
                             "lease_expires": job["lease_expires"],
+                            "trace": self._sweep_traces.get(job["sweep_id"]),
                         }
                     )
         return 200, self._envelope({"worker_id": worker_id, "jobs": handout})
@@ -683,6 +831,30 @@ class ExperimentService:
         cancelled = self.queue.cancel(sweep_id)
         return 200, self._envelope({"sweep_id": sweep_id, "cancelled": cancelled})
 
+    def _post_trace(self, body: dict) -> tuple[int, dict]:
+        """Ingest spans shipped from a remote process (worker, client)."""
+        if not isinstance(body, dict):
+            return 400, self._envelope(
+                {"error": f"request body must be an object, got {type(body).__name__}"}
+            )
+        spans = body.get("spans")
+        if not isinstance(spans, list):
+            return 400, self._envelope(
+                {"error": "request body needs a 'spans' list of span objects"}
+            )
+        accepted = COLLECTOR.ingest(spans)
+        return 200, self._envelope({"accepted": accepted})
+
+    def _get_trace(self, query: dict[str, str]) -> tuple[int, dict]:
+        """One trace's spans (``?trace_id=``) or summaries of all."""
+        trace_id = query.get("trace_id")
+        if trace_id:
+            spans = [span.to_dict() for span in COLLECTOR.spans(trace_id)]
+            return 200, self._envelope(
+                {"trace_id": trace_id, "count": len(spans), "spans": spans}
+            )
+        return 200, self._envelope({"traces": COLLECTOR.traces()})
+
     def _get_job(self, job_id: str) -> tuple[int, dict]:
         if not job_id or "/" in job_id:
             return 400, self._envelope({"error": f"malformed job id {job_id!r}"})
@@ -709,14 +881,49 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _respond_text(self, status: int, text: str) -> None:
+        data = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _access_log(self, method: str, status: int, began: float) -> None:
+        _LOG.info(
+            "%s %s %s %s %.1fms",
+            self.address_string(),
+            method,
+            self.path,
+            status,
+            (time.perf_counter() - began) * 1000.0,
+        )
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        began = time.perf_counter()
         parsed = urlparse(self.path)
+        if parsed.path == "/metrics":
+            # Prometheus text, not a JSON envelope: rendered straight
+            # from the registry, counted like any other route.
+            text = self.server.service.scrape_metrics()
+            _OBS_HTTP_REQUESTS.inc(method="GET", route="/metrics", status="200")
+            _OBS_HTTP_SECONDS.observe(
+                time.perf_counter() - began, method="GET", route="/metrics"
+            )
+            self._respond_text(200, text)
+            self._access_log("GET", 200, began)
+            return
         status, payload = self.server.service.handle(
-            "GET", parsed.path, dict(parse_qsl(parsed.query))
+            "GET",
+            parsed.path,
+            dict(parse_qsl(parsed.query)),
+            trace_parent=self.headers.get(TRACE_HEADER),
         )
         self._respond(status, payload)
+        self._access_log("GET", status, began)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        began = time.perf_counter()
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length)
         try:
@@ -726,16 +933,24 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 400,
                 {"schema": SERVICE_SCHEMA, "error": f"request body is not JSON: {exc}"},
             )
+            self._access_log("POST", 400, began)
             return
         parsed = urlparse(self.path)
         status, payload = self.server.service.handle(
-            "POST", parsed.path, dict(parse_qsl(parsed.query)), body
+            "POST",
+            parsed.path,
+            dict(parse_qsl(parsed.query)),
+            body,
+            trace_parent=self.headers.get(TRACE_HEADER),
         )
         self._respond(status, payload)
+        self._access_log("POST", status, began)
 
     def log_message(self, format: str, *args: object) -> None:
-        if getattr(self.server, "verbose", False):
-            super().log_message(format, *args)
+        # http.server's own lines (error responses, malformed requests)
+        # go through the structured logger instead of being discarded —
+        # quiet by default, visible with --verbose or REPRO_OBS_LOG.
+        _LOG.debug("%s %s", self.address_string(), format % args)
 
 
 class ExperimentServer(ThreadingHTTPServer):
@@ -751,6 +966,8 @@ class ExperimentServer(ThreadingHTTPServer):
     ) -> None:
         self.service = service
         self.verbose = verbose
+        if verbose:
+            enable_console("info")
         super().__init__(address, _RequestHandler)
 
     @property

@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator
 from repro.errors import StoreError, TraceError
 from repro.mem.trace import MissTrace
 from repro.mem.trace_io import load_miss_trace, save_miss_trace
+from repro.obs import REGISTRY, trace
 from repro.run.results import ResultSet
 from repro.sim.stats import PrefetchRunStats
 
@@ -82,6 +83,26 @@ _ARTIFACT_ERRORS = (
 )
 
 _tmp_counter = itertools.count()
+
+#: This process's share of the persistent index counters (hits, misses,
+#: evictions, bytes moved), mirrored into the metrics registry at
+#: ``_bump`` time so ``GET /metrics`` sees live deltas without reading
+#: SQLite. The persistent counters in the index remain authoritative.
+_OBS_COUNTERS = REGISTRY.counter(
+    "repro_store_events_total",
+    "Store accounting events (hits, misses, evictions, bytes) this process.",
+    labels=("name",),
+)
+_OBS_LOOKUPS = REGISTRY.counter(
+    "repro_store_lookups_total",
+    "Keyed store lookups by artifact kind (each resolves to a hit or miss).",
+    labels=("kind",),
+)
+_OBS_OP_SECONDS = REGISTRY.histogram(
+    "repro_store_op_seconds",
+    "Store operation latency by operation.",
+    labels=("op",),
+)
 
 #: Temporary files younger than this survive the GC sweep: they may be
 #: an in-flight write from a live process in the tmp→rename window, and
@@ -237,6 +258,8 @@ class ExperimentStore:
             "ON CONFLICT(name) DO UPDATE SET value = value + excluded.value",
             (name, delta),
         )
+        if name != "access_seq":
+            _OBS_COUNTERS.inc(delta, name=name)
 
     def _next_access(self) -> int:
         """Advance the persistent LRU clock and return its new value.
@@ -352,6 +375,7 @@ class ExperimentStore:
         Raises :class:`~repro.errors.StoreError` if the artifact exists
         but cannot be decoded (truncated/corrupt file).
         """
+        _OBS_LOOKUPS.inc(kind=_RESULT)
         with self._lock:
             row = self._db.execute(
                 "SELECT path FROM entries WHERE kind=? AND key=?", (_RESULT, key)
@@ -410,7 +434,8 @@ class ExperimentStore:
         """
         pairs = list(pairs)
         keys: list[str] = []
-        with self._lock:
+        began = time.perf_counter()
+        with trace("store.put_results", count=len(pairs)), self._lock:
             self._db.execute("BEGIN IMMEDIATE")
             try:
                 for spec, stats in pairs:
@@ -433,6 +458,7 @@ class ExperimentStore:
             except BaseException:
                 self._db.execute("ROLLBACK")
                 raise
+        _OBS_OP_SECONDS.observe(time.perf_counter() - began, op="put_results")
         if self.max_bytes is not None:
             self.gc()
         return keys
@@ -487,6 +513,7 @@ class ExperimentStore:
 
     def get_stream(self, digest: str) -> MissTrace | None:
         """Stored miss stream for a digest, or ``None``."""
+        _OBS_LOOKUPS.inc(kind=_STREAM)
         with self._lock:
             row = self._db.execute(
                 "SELECT path FROM entries WHERE kind=? AND key=?",
@@ -516,6 +543,7 @@ class ExperimentStore:
         """Store one filtered miss stream under ``digest``."""
         rel = f"streams/{digest}.npz"
         final = self.root / rel
+        began = time.perf_counter()
         with self._lock:
             tmp = (
                 final.parent
@@ -531,6 +559,7 @@ class ExperimentStore:
             except BaseException:
                 self._db.execute("ROLLBACK")
                 raise
+        _OBS_OP_SECONDS.observe(time.perf_counter() - began, op="put_stream")
         if self.max_bytes is not None:
             self.gc()
         return digest
@@ -573,6 +602,7 @@ class ExperimentStore:
 
     def get_ckpt(self, key: str) -> bytes | None:
         """Stored checkpoint blob for ``key``, or ``None`` (counted)."""
+        _OBS_LOOKUPS.inc(kind=_CKPT)
         with self._lock:
             row = self._db.execute(
                 "SELECT path FROM entries WHERE kind=? AND key=?", (_CKPT, key)

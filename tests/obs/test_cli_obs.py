@@ -1,0 +1,112 @@
+"""The ``repro-tlb trace`` and ``repro-tlb top`` verbs."""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.obs import COLLECTOR
+from repro.obs.console import render_top
+from repro.service import make_server
+
+
+@pytest.fixture
+def server(tmp_path):
+    server = make_server(tmp_path / "store", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+@pytest.fixture
+def span_file(tmp_path):
+    spans = [
+        {
+            "name": "sweep",
+            "trace_id": "t1",
+            "span_id": "a",
+            "parent_id": None,
+            "start": 1.0,
+            "duration": 0.5,
+            "status": "ok",
+            "attrs": {},
+        },
+        {
+            "name": "worker.job",
+            "trace_id": "t1",
+            "span_id": "b",
+            "parent_id": "a",
+            "start": 1.1,
+            "duration": 0.2,
+            "status": "ok",
+            "attrs": {"worker": "w1"},
+        },
+    ]
+    path = tmp_path / "spans.json"
+    path.write_text(json.dumps({"spans": spans}))
+    return path
+
+
+class TestTraceVerb:
+    def test_file_renders_flame(self, span_file, capsys):
+        assert main(["trace", "--file", str(span_file)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out
+        assert "  worker.job" in out  # indented under its parent
+
+    def test_file_json_output_round_trips(self, span_file, capsys):
+        assert main(["trace", "--file", str(span_file), "--json"]) == 0
+        spans = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in spans] == ["sweep", "worker.job"]
+
+    def test_file_trace_id_filter(self, span_file, capsys):
+        assert main(
+            ["trace", "--file", str(span_file), "--trace-id", "missing"]
+        ) == 1
+        assert "no spans" in capsys.readouterr().out
+
+    def test_url_lists_and_renders(self, server, capsys):
+        COLLECTOR.clear()
+        COLLECTOR.ingest(
+            [
+                {
+                    "name": "http.request",
+                    "trace_id": "cli01",
+                    "span_id": "s1",
+                    "parent_id": None,
+                    "start": 0.0,
+                    "duration": 0.1,
+                    "status": "ok",
+                    "attrs": {},
+                }
+            ]
+        )
+        assert main(["trace", "--url", server.url]) == 0
+        assert "cli01" in capsys.readouterr().out
+        assert main(["trace", "--url", server.url, "--trace-id", "cli01"]) == 0
+        assert "http.request" in capsys.readouterr().out
+
+
+class TestTopVerb:
+    def test_once_prints_one_frame(self, server, capsys):
+        assert main(["top", "--url", server.url, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro-tlb top" in out
+        assert "queue" in out
+        assert "hit rates" in out
+        assert "\x1b[2J" not in out  # --once must not clear the screen
+
+    def test_render_top_computes_rps_from_deltas(self):
+        current = {"metrics": {"http_requests": 150}}
+        previous = {"metrics": {"http_requests": 100}}
+        frame = render_top(current, previous=previous, interval=5.0)
+        assert "rps 10.0/s" in frame
+
+    def test_render_top_without_history_shows_placeholder(self):
+        assert "rps -" in render_top({"metrics": {"http_requests": 3}})

@@ -1,0 +1,69 @@
+"""ServiceClient transport telemetry: retry causes and backoff time."""
+
+import socket
+
+import pytest
+
+from repro.obs import REGISTRY
+from repro.service.client import ServiceClient, ServiceError
+
+
+@pytest.fixture
+def dead_url():
+    """A URL nothing is listening on (bound then closed, so it's ours)."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return f"http://127.0.0.1:{port}"
+
+
+def counter_total(name: str, **labels: str) -> float:
+    family = REGISTRY.get(name)
+    if family is None:
+        return 0.0
+    if labels:
+        return family.value(**labels)
+    return family.total()
+
+
+class TestRetryTelemetry:
+    def test_refused_connection_counts_retries_and_backoff(self, dead_url):
+        retries_before = counter_total(
+            "repro_client_retries_total", cause="connection_refused"
+        )
+        backoff_before = counter_total("repro_client_backoff_seconds_total")
+        unreachable_before = counter_total(
+            "repro_client_requests_total", method="GET", outcome="unreachable"
+        )
+
+        client = ServiceClient(dead_url, max_retries=2, retry_backoff=0.001)
+        with pytest.raises(ServiceError) as err:
+            client.stats()
+        assert err.value.status == 0
+
+        # The client-local counters and the registry mirror must agree.
+        assert client.retries == 2
+        assert client.backoff_seconds > 0.0
+        assert (
+            counter_total("repro_client_retries_total", cause="connection_refused")
+            == retries_before + 2
+        )
+        assert (
+            counter_total("repro_client_backoff_seconds_total")
+            >= backoff_before + client.backoff_seconds
+        )
+        assert (
+            counter_total(
+                "repro_client_requests_total", method="GET", outcome="unreachable"
+            )
+            == unreachable_before + 1
+        )
+
+    def test_non_idempotent_post_does_not_retry(self, dead_url):
+        retries_before = counter_total("repro_client_retries_total")
+        client = ServiceClient(dead_url, max_retries=3, retry_backoff=0.001)
+        with pytest.raises(ServiceError):
+            client.request("/runs", {"specs": []})
+        assert client.retries == 0
+        assert counter_total("repro_client_retries_total") == retries_before

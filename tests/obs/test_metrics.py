@@ -1,0 +1,181 @@
+"""The metrics registry: exact under concurrency, faithful on the wire."""
+
+import concurrent.futures
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    parse_prometheus,
+)
+
+
+def _pool_worker_increments(n: int) -> float:
+    """Top-level (picklable) pool task: hammer this process's registry."""
+    registry = MetricsRegistry()
+    counter = registry.counter("pool_hits_total", "per-process counter")
+    for _ in range(n):
+        counter.inc()
+    return counter.total()
+
+
+class TestCounters:
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "test", labels=("worker",))
+        threads = 8
+        per_thread = 10_000
+
+        def hammer(worker: int) -> None:
+            for _ in range(per_thread):
+                counter.inc(worker=str(worker))
+
+        pool = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert counter.total() == threads * per_thread
+        for worker in range(threads):
+            assert counter.value(worker=str(worker)) == per_thread
+
+    def test_process_pool_registries_are_independent_and_exact(self):
+        with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+            totals = list(pool.map(_pool_worker_increments, [500, 500]))
+        assert totals == [500.0, 500.0]
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_unknown_label_rejected(self):
+        counter = MetricsRegistry().counter("c_total", labels=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc(flavor="nope")
+
+    def test_conflicting_redeclaration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError):
+            registry.counter("x_total", labels=("b",))
+        # Identical redeclaration is get-or-create, not an error.
+        assert registry.counter("x_total", labels=("a",)) is registry.get("x_total")
+
+    def test_disabled_registry_is_inert(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c_total")
+        counter.inc(5)
+        assert counter.total() == 0
+
+
+class TestHistograms:
+    def test_bucket_edges_are_le_inclusive(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 9.0):
+            hist.observe(value)
+        snap = hist.snapshot()["series"][0]
+        # Raw (non-cumulative) slots: (-inf,1], (1,2], (2,+inf)
+        assert snap["buckets"] == [2, 2, 1]
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(14.0)
+
+    def test_type_confusion_raises(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds")
+        with pytest.raises(TypeError):
+            hist.inc()
+        with pytest.raises(TypeError):
+            registry.counter("c_total").observe(1.0)
+
+    def test_quantiles_interpolate_within_bucket(self):
+        hist = MetricsRegistry().histogram("h_seconds")
+        for _ in range(100):
+            hist.observe(0.003)  # falls in the (0.0025, 0.005] bucket
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert 0.0025 <= summary["p50"] <= 0.005
+        assert 0.0025 <= summary["p99"] <= 0.005
+
+    def test_concurrent_observes_are_exact(self):
+        hist = MetricsRegistry().histogram("h_seconds")
+        per_thread = 5_000
+
+        def hammer() -> None:
+            for _ in range(per_thread):
+                hist.observe(0.01)
+
+        pool = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        summary = hist.summary()
+        assert summary["count"] == 4 * per_thread
+        assert summary["sum"] == pytest.approx(4 * per_thread * 0.01)
+
+    def test_snapshot_is_internally_consistent_under_writes(self):
+        """count must equal the bucket-count sum in every snapshot."""
+        hist = MetricsRegistry().histogram("h_seconds")
+        stop = threading.Event()
+
+        def writer() -> None:
+            while not stop.is_set():
+                hist.observe(0.01)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                snap = hist.snapshot()["series"]
+                for child in snap:
+                    assert sum(child["buckets"]) == child["count"]
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestPrometheusExposition:
+    def test_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("req_total", "requests", labels=("route",))
+        counter.inc(3, route="/stats")
+        counter.inc(route='/runs/:key')
+        gauge = registry.gauge("depth", "queue depth")
+        gauge.set(7)
+        hist = registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+
+        text = registry.render()
+        assert "# TYPE req_total counter" in text
+        assert "# TYPE lat_seconds histogram" in text
+        parsed = parse_prometheus(text)
+        assert parsed["req_total"][(("route", "/stats"),)] == 3
+        assert parsed["req_total"][(("route", "/runs/:key"),)] == 1
+        assert parsed["depth"][()] == 7
+        buckets = parsed["lat_seconds_bucket"]
+        assert buckets[(("le", "0.1"),)] == 1
+        assert buckets[(("le", "1"),)] == 1  # cumulative: nothing new
+        assert buckets[(("le", "+Inf"),)] == 2
+        assert parsed["lat_seconds_count"][()] == 2
+        assert parsed["lat_seconds_sum"][()] == pytest.approx(5.05)
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("esc_total", labels=("msg",))
+        counter.inc(msg='quote " slash \\ newline \n end')
+        parsed = parse_prometheus(registry.render())
+        (labels,) = parsed["esc_total"]
+        assert dict(labels)["msg"] == 'quote " slash \\ newline \n end'
+
+    def test_default_latency_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)

@@ -1,0 +1,38 @@
+"""Profiling hooks: phase wall-clock attribution and peak RSS."""
+
+import time
+
+from repro.obs import PhaseProfiler, peak_rss_bytes
+
+
+def test_peak_rss_is_plausible():
+    rss = peak_rss_bytes()
+    # A running CPython interpreter needs at least a few MiB.
+    assert rss > 4 * 1024 * 1024
+
+
+def test_phases_accumulate_and_preserve_order():
+    profiler = PhaseProfiler()
+    with profiler.phase("b"):
+        time.sleep(0.01)
+    with profiler.phase("a"):
+        time.sleep(0.01)
+    with profiler.phase("b"):  # re-entry accumulates into the same line
+        time.sleep(0.01)
+    report = profiler.report()
+    assert list(report["phase_seconds"]) == ["b", "a"]
+    assert report["phase_seconds"]["b"] >= 0.02
+    assert report["phase_seconds"]["a"] >= 0.01
+    assert report["profiled_seconds"] <= report["total_seconds"]
+    assert report["peak_rss_bytes"] == peak_rss_bytes()
+
+
+def test_exception_still_charges_the_phase():
+    profiler = PhaseProfiler()
+    try:
+        with profiler.phase("doomed"):
+            time.sleep(0.01)
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    assert profiler.report()["phase_seconds"]["doomed"] >= 0.01
