@@ -37,7 +37,10 @@ Distributed sweeps (see README "Distributed sweeps")::
 
 Observability (see README "Observability")::
 
-    repro-tlb top --url http://127.0.0.1:8321             # live summary
+    repro-tlb top --url http://127.0.0.1:8321             # live summary + trends
+    repro-tlb health --url http://127.0.0.1:8321          # GET /healthz
+    repro-tlb alerts --url http://127.0.0.1:8321          # SLO alert states
+    repro-tlb bench compare --history benchmarks/results/BENCH_history.jsonl
     repro-tlb trace --url http://127.0.0.1:8321           # list traces
     repro-tlb trace --url http://127.0.0.1:8321 --trace-id ID
     repro-tlb trace --file spans.json --json
@@ -378,6 +381,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print a single frame and exit (no screen clearing)",
     )
 
+    health = sub.add_parser(
+        "health", help="componentwise service health (GET /healthz)"
+    )
+    _add_url(health)
+
+    alerts = sub.add_parser(
+        "alerts", help="SLO alert states (GET /alerts); exit 1 if any fire"
+    )
+    _add_url(alerts)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark-history tools (BENCH_history.jsonl)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="diff the newest history record against a baseline window; "
+        "exit 1 on a perf regression",
+    )
+    bench_compare.add_argument(
+        "--history",
+        default="benchmarks/results/BENCH_history.jsonl",
+        help="history file written by benchmarks/smoke.py --history",
+    )
+    bench_compare.add_argument(
+        "--baseline-window", type=int, default=5,
+        help="how many prior records the baseline mean averages "
+        "(default 5; use 1 to compare against just the previous run)",
+    )
+
     jobs = sub.add_parser("jobs", help="inspect or cancel scheduler sweeps")
     jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
     jobs_status = jobs_sub.add_parser(
@@ -652,6 +685,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_top(args: argparse.Namespace) -> int:
     import time as time_module
+    from collections import deque
 
     from repro.obs.console import render_top
     from repro.sched import SchedulerClient
@@ -659,6 +693,11 @@ def _cmd_top(args: argparse.Namespace) -> int:
     client = SchedulerClient(args.url, timeout=args.request_timeout)
     previous: dict | None = None
     previous_at: float | None = None
+    # Per-refresh trend series rendered as sparklines; bounded to the
+    # sparkline window so an all-day top never grows.
+    trends: dict[str, deque] = {
+        name: deque(maxlen=30) for name in ("p99_ms", "rps", "queued")
+    }
     try:
         while True:
             stats = client.stats()
@@ -666,7 +705,20 @@ def _cmd_top(args: argparse.Namespace) -> int:
             interval = (
                 now - previous_at if previous_at is not None else None
             )
-            frame = render_top(stats, previous=previous, interval=interval)
+            metrics = stats.get("metrics", {})
+            trends["p99_ms"].append(float(metrics.get("http_p99_ms", 0.0)))
+            trends["queued"].append(float(stats.get("queue", {}).get("queued", 0)))
+            if previous is not None and interval:
+                delta = metrics.get("http_requests", 0) - (
+                    previous.get("metrics", {}).get("http_requests", 0)
+                )
+                trends["rps"].append(max(0.0, delta / interval))
+            frame = render_top(
+                stats,
+                previous=previous,
+                interval=interval,
+                history={name: list(series) for name, series in trends.items()},
+            )
             if not args.once:
                 # Clear-and-home rather than scroll: one refreshing screen.
                 print("\x1b[2J\x1b[H", end="")
@@ -677,6 +729,66 @@ def _cmd_top(args: argparse.Namespace) -> int:
             time_module.sleep(max(0.1, args.interval))
     except KeyboardInterrupt:
         return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url, timeout=args.request_timeout)
+    try:
+        report = client.healthz()
+        degraded = False
+    except ServiceError as exc:
+        if exc.status != 503:
+            raise
+        report = exc.payload
+        degraded = True
+    print(f"service {args.url}: {report.get('status', 'unknown')}")
+    for name, component in sorted(report.get("components", {}).items()):
+        detail = "  ".join(
+            f"{key}={value}"
+            for key, value in component.items()
+            if key not in ("status",)
+        )
+        print(f"  {name:<10} {component.get('status', '?'):<10} {detail}")
+    firing = report.get("firing", [])
+    if firing:
+        print(f"firing alerts: {', '.join(firing)}")
+    return 1 if degraded else 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url, timeout=args.request_timeout)
+    payload = client.alerts()
+    if not payload.get("enabled", False):
+        print("telemetry disabled: no alert engine on this service")
+        return 0
+    alerts = payload.get("alerts", [])
+    print(f"{'alert':<30} {'state':<9} {'value':>10} {'threshold':>10}  component")
+    for alert in alerts:
+        value = alert.get("value")
+        print(
+            f"{alert['name']:<30} {alert['state']:<9} "
+            f"{'-' if value is None else format(value, '.4g'):>10} "
+            f"{alert['op']}{alert['threshold']:<9g}  {alert['component']}"
+        )
+    firing = payload.get("firing", [])
+    print(f"{len(alerts)} rule(s), {len(firing)} firing")
+    return 1 if firing else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import compare_history, format_compare, load_history
+
+    if args.bench_command == "compare":
+        report = compare_history(
+            load_history(args.history), baseline_window=args.baseline_window
+        )
+        print(format_compare(report))
+        return 1 if report["regressed"] else 0
+    return 0
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
@@ -746,6 +858,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     if args.command == "top":
         return _cmd_top(args)
+    if args.command == "health":
+        return _cmd_health(args)
+    if args.command == "alerts":
+        return _cmd_alerts(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "jobs":
         return _cmd_jobs(args)
     if args.command == "table1":

@@ -67,6 +67,16 @@ class CkptError(ReproError):
     """
 
 
+class ObsError(ReproError):
+    """The observability layer's persistent state is unusable.
+
+    Raised for a telemetry journal whose SQLite schema does not match
+    ``repro.obs/v1`` (use a fresh file or migrate), for malformed SLO
+    rule definitions, and for corrupt benchmark-history records. Never
+    raised from a metric update — the hot path stays exception-free.
+    """
+
+
 class SchedulerError(ReproError):
     """The distributed sweep scheduler cannot proceed.
 

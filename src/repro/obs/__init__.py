@@ -21,12 +21,26 @@ from __future__ import annotations
 
 import os
 
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    DEFAULT_TOLERANCES,
+    append_history,
+    compare_history,
+    format_compare,
+    load_history,
+)
 from repro.obs.logging import enable_console, get_logger
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     MetricFamily,
     MetricsRegistry,
     parse_prometheus,
+)
+from repro.obs.journal import (
+    JOURNAL_FILENAME,
+    OBS_SCHEMA,
+    MetricsJournal,
+    flatten_snapshot,
 )
 from repro.obs.profiling import PhaseProfiler, peak_rss_bytes
 from repro.obs.tracing import (
@@ -62,23 +76,43 @@ def is_enabled() -> bool:
     return REGISTRY.enabled
 
 
+# Imported after REGISTRY exists: both modules register families
+# against the process-wide registry at import time.
+from repro.obs.health import HealthWatchdog, component_health  # noqa: E402
+from repro.obs.rules import Rule, RuleEngine, default_rules  # noqa: E402
+
 __all__ = [
+    "BENCH_SCHEMA",
     "COLLECTOR",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_TOLERANCES",
     "ENV_DISABLED",
+    "HealthWatchdog",
+    "JOURNAL_FILENAME",
     "MetricFamily",
+    "MetricsJournal",
     "MetricsRegistry",
+    "OBS_SCHEMA",
     "PhaseProfiler",
     "REGISTRY",
+    "Rule",
+    "RuleEngine",
     "Span",
     "SpanCollector",
     "TRACE_HEADER",
+    "append_history",
     "bind_context",
+    "compare_history",
+    "component_health",
     "current_context",
+    "default_rules",
     "drain_spans",
     "enable_console",
+    "flatten_snapshot",
+    "format_compare",
     "get_logger",
     "is_enabled",
+    "load_history",
     "parse_prometheus",
     "peak_rss_bytes",
     "render_flame",

@@ -38,10 +38,35 @@ def _fmt_pct_bar(fraction: float | None, width: int = 20) -> str:
     return f"{fraction * 100.0:5.1f}% {bar(fraction, width=width)}"
 
 
+#: Eight-level block ramp for :func:`sparkline`.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], width: int = 30) -> str:
+    """Render a numeric series as a block-character sparkline.
+
+    Min-max normalized over the visible window (the trailing ``width``
+    samples); a flat series renders at the lowest level so a busy one
+    stands out. Empty input renders as an empty string.
+    """
+    tail = [float(value) for value in values[-width:]]
+    if not tail:
+        return ""
+    low, high = min(tail), max(tail)
+    span = high - low
+    if span <= 0:
+        return _SPARKS[0] * len(tail)
+    return "".join(
+        _SPARKS[min(len(_SPARKS) - 1, int((value - low) / span * len(_SPARKS)))]
+        for value in tail
+    )
+
+
 def render_top(
     stats: dict[str, Any],
     previous: dict[str, Any] | None = None,
     interval: float | None = None,
+    history: dict[str, list[float]] | None = None,
 ) -> str:
     """Render one ``/stats`` snapshot as a one-screen summary.
 
@@ -49,6 +74,9 @@ def render_top(
         stats: decoded ``GET /stats`` payload.
         previous: the prior poll's payload, for requests-per-second.
         interval: seconds between the two polls.
+        history: named numeric series accumulated by the polling loop
+            (e.g. p99 latency, rps, queue depth per refresh); each is
+            rendered as a labelled sparkline trend line.
     """
     metrics = stats.get("metrics", {})
     queue = stats.get("queue", {})
@@ -116,4 +144,19 @@ def render_top(
         f"evicted {streams.get('evicted', 0)}   "
         f"spans {metrics.get('spans_collected', 0)}"
     )
+    if history:
+        trend_lines = []
+        label_width = max(len(name) for name in history)
+        for name, values in history.items():
+            spark = sparkline(values)
+            if not spark:
+                continue
+            latest = values[-1]
+            trend_lines.append(
+                f"  {name:<{label_width}}  {spark}  {latest:g}"
+            )
+        if trend_lines:
+            lines.append("")
+            lines.append("trends")
+            lines.extend(trend_lines)
     return "\n".join(lines)

@@ -1,0 +1,315 @@
+"""Declarative SLO rules with firing→resolved alert state tracking.
+
+A :class:`Rule` is a threshold over one journal-backed series (or a
+ratio of two): *"the max of ``repro_http_request_seconds_p99`` over
+the last 60 s must stay below 1.0"*. The :class:`RuleEngine` evaluates
+every rule against a :class:`~repro.obs.journal.MetricsJournal` and
+runs each one's alert through a tiny state machine:
+
+    ok ──breach──▶ firing ──recovery──▶ resolved ──breach──▶ firing …
+
+``ok`` means the rule has never fired; ``resolved`` keeps the last
+incident visible (when it fired, when it recovered) instead of
+silently forgetting it. Each transition is timestamped with the
+engine's clock, and the ``repro_alerts_firing`` gauge mirrors the
+firing set so ``GET /metrics`` scrapes see active alerts without
+calling ``GET /alerts``.
+
+A rule with *no data in its window* does not fire — an idle service
+with an empty journal is healthy, not alarming. Everything here is
+observation only: no rule influences results, keys, or checkpoints.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ObsError
+from repro.obs import REGISTRY
+from repro.obs.journal import MetricsJournal
+
+_OBS_ALERTS_FIRING = REGISTRY.gauge(
+    "repro_alerts_firing",
+    "1 while the named SLO alert is firing, 0 otherwise.",
+    labels=("alert",),
+)
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda value, threshold: value > threshold,
+    "<": lambda value, threshold: value < threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One declarative SLO threshold over journal-backed series.
+
+    Args:
+        name: stable alert identifier (``service_p99_latency``).
+        metric: flattened journal series name.
+        op: comparison that *fires* the alert (``value op threshold``).
+        threshold: the SLO bound.
+        window_seconds: trailing window the aggregation covers.
+        aggregate: ``last`` / ``max`` / ``min`` / ``avg`` /
+            ``increase`` (see :meth:`MetricsJournal.aggregate`).
+        labels: label subset filter; values may use ``fnmatch``
+            wildcards.
+        denominator_metric: when set, the evaluated value is
+            ``metric / denominator_metric`` (both aggregated the same
+            way) — how the error-*ratio* rule divides 5xx growth by
+            total request growth.
+        denominator_labels: label filter for the denominator.
+        min_denominator: below this denominator the ratio is treated
+            as no-data (three errors out of three requests at boot is
+            noise, not an outage).
+        component: the ``/healthz`` component this rule degrades.
+        severity: free-form label (``warning`` / ``critical``).
+        description: one line shown by ``repro-tlb alerts``.
+    """
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    window_seconds: float = 60.0
+    aggregate: str = "last"
+    labels: dict[str, str] | None = None
+    denominator_metric: str | None = None
+    denominator_labels: dict[str, str] | None = None
+    min_denominator: float = 1.0
+    component: str = "service"
+    severity: str = "warning"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ObsError(
+                f"rule {self.name!r}: unknown op {self.op!r}; "
+                f"expected one of {tuple(_OPS)}"
+            )
+        if self.window_seconds <= 0:
+            raise ObsError(
+                f"rule {self.name!r}: window_seconds must be > 0, "
+                f"got {self.window_seconds}"
+            )
+
+    def evaluate(
+        self, journal: MetricsJournal, now: float | None = None
+    ) -> float | None:
+        """The rule's current value, or ``None`` when there is no data."""
+        value = journal.aggregate(
+            self.metric,
+            self.window_seconds,
+            agg=self.aggregate,
+            labels=self.labels,
+            now=now,
+        )
+        if self.denominator_metric is None or value is None:
+            return value
+        denominator = journal.aggregate(
+            self.denominator_metric,
+            self.window_seconds,
+            agg=self.aggregate,
+            labels=self.denominator_labels,
+            now=now,
+        )
+        if denominator is None or denominator < self.min_denominator:
+            return None
+        return value / denominator
+
+    def breached(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+
+@dataclass
+class AlertState:
+    """Mutable per-rule alert record the engine maintains."""
+
+    rule: Rule
+    state: str = "ok"  # ok | firing | resolved
+    since: float | None = None  # when the current state was entered
+    fired_at: float | None = None  # start of the most recent incident
+    resolved_at: float | None = None  # end of the most recent incident
+    value: float | None = None  # last evaluated value
+    transitions: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.rule.name,
+            "state": self.state,
+            "since": self.since,
+            "fired_at": self.fired_at,
+            "resolved_at": self.resolved_at,
+            "value": self.value,
+            "threshold": self.rule.threshold,
+            "op": self.rule.op,
+            "metric": self.rule.metric,
+            "window_seconds": self.rule.window_seconds,
+            "aggregate": self.rule.aggregate,
+            "component": self.rule.component,
+            "severity": self.rule.severity,
+            "description": self.rule.description,
+            "transitions": self.transitions,
+        }
+
+
+def default_rules(
+    p99_latency_seconds: float = 1.0,
+    queue_age_seconds: float = 120.0,
+    heartbeat_overdue_seconds: float = 5.0,
+    error_ratio: float = 0.10,
+    idle_sessions: int = 64,
+) -> list[Rule]:
+    """The service's stock SLO rule set (thresholds overridable).
+
+    Five rules, one per failure mode the ISSUE names: slow requests,
+    a backed-up queue, workers that stopped heartbeating, a 5xx error
+    ratio, and streaming sessions piling up idle.
+    """
+    return [
+        Rule(
+            name="service_p99_latency",
+            metric="repro_http_request_seconds_p99",
+            op=">",
+            threshold=p99_latency_seconds,
+            window_seconds=60.0,
+            aggregate="max",
+            component="service",
+            severity="warning",
+            description="service p99 request latency above SLO",
+        ),
+        Rule(
+            name="queue_oldest_claimable_age",
+            metric="repro_sched_oldest_queued_age_seconds",
+            op=">",
+            threshold=queue_age_seconds,
+            window_seconds=60.0,
+            aggregate="last",
+            component="queue",
+            severity="warning",
+            description="oldest claimable job has waited too long",
+        ),
+        Rule(
+            name="worker_heartbeat_stale",
+            metric="repro_sched_lease_overdue_seconds",
+            op=">",
+            threshold=heartbeat_overdue_seconds,
+            window_seconds=60.0,
+            aggregate="last",
+            component="workers",
+            severity="critical",
+            description="a running job's lease expired without a heartbeat",
+        ),
+        Rule(
+            name="service_error_ratio",
+            metric="repro_http_requests_total",
+            op=">",
+            threshold=error_ratio,
+            window_seconds=120.0,
+            aggregate="increase",
+            labels={"status": "5*"},
+            denominator_metric="repro_http_requests_total",
+            min_denominator=10.0,
+            component="service",
+            severity="critical",
+            description="5xx responses above the error-ratio SLO",
+        ),
+        Rule(
+            name="stream_sessions_idle_pileup",
+            metric="repro_stream_sessions",
+            op=">",
+            threshold=float(idle_sessions),
+            window_seconds=60.0,
+            aggregate="last",
+            labels={"state": "active"},
+            component="sessions",
+            severity="warning",
+            description="streaming sessions piling up without eviction",
+        ),
+    ]
+
+
+class RuleEngine:
+    """Evaluates a rule set against a journal and tracks alert state.
+
+    Args:
+        journal: the series source.
+        rules: the SLO rule set; duplicate names are rejected.
+        clock: time source for transition timestamps; defaults to the
+            journal's clock so injected-clock tests stay consistent.
+
+    Thread-safe via the GIL discipline of its callers: :meth:`evaluate`
+    is invoked from the watchdog thread *and* from ``GET /healthz``
+    handlers, so state mutation happens under an internal lock.
+    """
+
+    def __init__(
+        self,
+        journal: MetricsJournal,
+        rules: list[Rule],
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ObsError(f"duplicate rule names in {sorted(names)}")
+        self.journal = journal
+        self.clock = clock if clock is not None else journal.clock
+        self._lock = threading.RLock()
+        self._states = {rule.name: AlertState(rule) for rule in rules}
+
+    @property
+    def rules(self) -> list[Rule]:
+        return [state.rule for state in self._states.values()]
+
+    def evaluate(self, now: float | None = None) -> list[dict[str, Any]]:
+        """Evaluate every rule once; returns the alert records."""
+        ts = self.clock() if now is None else now
+        with self._lock:
+            for state in self._states.values():
+                value = state.rule.evaluate(self.journal, now=ts)
+                state.value = value
+                breached = value is not None and state.rule.breached(value)
+                if breached and state.state != "firing":
+                    state.state = "firing"
+                    state.since = ts
+                    state.fired_at = ts
+                    state.transitions += 1
+                elif not breached and state.state == "firing":
+                    state.state = "resolved"
+                    state.since = ts
+                    state.resolved_at = ts
+                    state.transitions += 1
+                _OBS_ALERTS_FIRING.set(
+                    1.0 if state.state == "firing" else 0.0,
+                    alert=state.rule.name,
+                )
+            return [state.to_dict() for state in self._states.values()]
+
+    def alerts(self) -> list[dict[str, Any]]:
+        """Current alert records without re-evaluating."""
+        with self._lock:
+            return [state.to_dict() for state in self._states.values()]
+
+    def firing(self) -> list[str]:
+        """Names of the alerts currently firing."""
+        with self._lock:
+            return [
+                name
+                for name, state in self._states.items()
+                if state.state == "firing"
+            ]
+
+    def components_degraded(self) -> dict[str, list[str]]:
+        """Firing alert names grouped by the component they degrade."""
+        with self._lock:
+            degraded: dict[str, list[str]] = {}
+            for state in self._states.values():
+                if state.state == "firing":
+                    degraded.setdefault(state.rule.component, []).append(
+                        state.rule.name
+                    )
+            return degraded

@@ -65,6 +65,21 @@ _OBS_DEPTH = REGISTRY.gauge(
     "Jobs per state at last queue stats/progress refresh.",
     labels=("state",),
 )
+#: SLO-facing gauges refreshed by :meth:`JobQueue.slo_snapshot` — the
+#: journal-backed series the health watchdog's queue/worker rules
+#: threshold on.
+_OBS_OLDEST_QUEUED = REGISTRY.gauge(
+    "repro_sched_oldest_queued_age_seconds",
+    "Age of the oldest claimable (queued) job at last SLO refresh.",
+)
+_OBS_LEASE_OVERDUE_JOBS = REGISTRY.gauge(
+    "repro_sched_lease_overdue_jobs",
+    "Running jobs whose lease has lapsed without a heartbeat.",
+)
+_OBS_LEASE_OVERDUE_SECONDS = REGISTRY.gauge(
+    "repro_sched_lease_overdue_seconds",
+    "How far past expiry the most overdue running lease is.",
+)
 
 #: Job lifecycle states.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -568,6 +583,48 @@ class JobQueue:
             **{state: counts.get(state, 0) for state in JOB_STATES},
             "total": sum(counts.values()),
             "counters": counters,
+        }
+
+    def slo_snapshot(self, now: float | None = None) -> dict[str, Any]:
+        """Read-only SLO probe: queue lag and heartbeat staleness.
+
+        Deliberately does *not* sweep lapsed leases — a worker that
+        stopped heartbeating must stay visible as an overdue running
+        job until a claim or progress poll requeues it, otherwise the
+        health layer could never observe the outage it alerts on.
+        Refreshes the ``repro_sched_oldest_queued_age_seconds`` and
+        ``repro_sched_lease_overdue_*`` gauges as a side effect.
+        """
+        ts = self._clock() if now is None else now
+        with self._lock:
+            oldest = self._db.execute(
+                "SELECT MIN(created_at) FROM jobs WHERE state='queued'"
+            ).fetchone()[0]
+            overdue_jobs, most_overdue = self._db.execute(
+                "SELECT COUNT(*), MAX(? - lease_expires) FROM jobs "
+                "WHERE state='running' AND lease_expires IS NOT NULL "
+                "AND lease_expires < ?",
+                (ts, ts),
+            ).fetchone()
+            queued, running = (
+                self._db.execute(
+                    "SELECT "
+                    " SUM(CASE WHEN state='queued' THEN 1 ELSE 0 END),"
+                    " SUM(CASE WHEN state='running' THEN 1 ELSE 0 END)"
+                    " FROM jobs"
+                ).fetchone()
+            )
+        oldest_age = None if oldest is None else max(0.0, ts - oldest)
+        overdue_seconds = float(most_overdue or 0.0)
+        _OBS_OLDEST_QUEUED.set(oldest_age or 0.0)
+        _OBS_LEASE_OVERDUE_JOBS.set(overdue_jobs or 0)
+        _OBS_LEASE_OVERDUE_SECONDS.set(overdue_seconds)
+        return {
+            "oldest_queued_age_seconds": oldest_age,
+            "lease_overdue_jobs": int(overdue_jobs or 0),
+            "lease_overdue_seconds": overdue_seconds,
+            "queued": int(queued or 0),
+            "running": int(running or 0),
         }
 
 

@@ -197,10 +197,40 @@ class ServiceClient:
                     raise
                 time.sleep(interval)
 
+    def wait_healthy(self, timeout: float = 10.0, interval: float = 0.1) -> dict:
+        """Poll ``GET /healthz`` until the service reports ``ok``.
+
+        Stronger than :meth:`wait_ready`: the socket answering is not
+        enough — every component (store writable, queue lag, worker
+        leases, sessions) must probe healthy. Keeps polling through
+        both "unreachable" (service still binding) and 503 "degraded"
+        (a component still recovering); anything else — or the
+        deadline — raises the last :class:`ServiceError`. Works with
+        telemetry disabled too: ``/healthz`` probes components
+        directly and just has no alerts to fold in.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServiceError as exc:
+                retryable = exc.status == 0 or exc.status == 503
+                if not retryable or time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
     # -- endpoint wrappers -------------------------------------------------
 
     def stats(self) -> dict:
         return self.request("/stats")
+
+    def healthz(self) -> dict:
+        """``GET /healthz``; raises ``ServiceError(503)`` when degraded."""
+        return self.request("/healthz")
+
+    def alerts(self) -> dict:
+        """``GET /alerts``: SLO alert records with firing state."""
+        return self.request("/alerts")
 
     def run(self, key: str) -> dict:
         return self.request(f"/runs/{key}")

@@ -30,6 +30,13 @@ survive idle eviction *and* full server restarts: an unknown session id
 is restored from its persisted snapshot on the next touch, and the
 final statistics are byte-identical to a single-shot replay no matter
 how the stream was chunked or interrupted.
+
+Health lives under ``GET /healthz`` (componentwise: store writable,
+queue lag, worker leases, live sessions; 200 ok / 503 degraded) and
+``GET /alerts`` (SLO alert records with firing→resolved state). When
+telemetry is enabled the service also journals registry snapshots to
+``<store>/telemetry.sqlite`` on a watchdog cadence, so latency and
+queue history survive restarts and feed ``repro-tlb top`` trends.
 """
 
 from __future__ import annotations
@@ -48,10 +55,16 @@ from repro.obs import (
     COLLECTOR,
     REGISTRY,
     TRACE_HEADER,
+    HealthWatchdog,
+    MetricsJournal,
+    RuleEngine,
     bind_context,
+    component_health,
     current_context,
+    default_rules,
     enable_console,
     get_logger,
+    is_enabled,
     trace,
 )
 from repro.run.results import ResultSet
@@ -100,22 +113,35 @@ _KNOWN_ROUTES = frozenset(
     (
         "/stats", "/results", "/progress", "/runs", "/jobs", "/claim",
         "/complete", "/heartbeat", "/cancel", "/streams", "/metrics", "/trace",
+        "/healthz", "/alerts",
     )
 )
+
+#: Stream sub-route verbs the dispatcher actually serves. Anything else
+#: under ``/streams/<id>/`` is a 404 and must not mint its own label.
+_STREAM_VERBS = frozenset(("advance", "stats"))
 
 _LOG = get_logger("service")
 
 
 def _route_label(path: str) -> str:
-    """Collapse a request path onto its route template."""
+    """Collapse a request path onto its route template.
+
+    Every unroutable path — including unknown ``/streams/<id>/<verb>``
+    verbs — shares the single ``<unknown>`` label, so a client probing
+    arbitrary paths cannot grow the ``/metrics`` exposition: label
+    cardinality is bounded by the route table, not by request traffic.
+    """
     if path.startswith("/runs/"):
         return "/runs/:key"
     if path.startswith("/jobs/"):
         return "/jobs/:id"
     if path.startswith("/streams/"):
         _, _, verb = path[len("/streams/"):].partition("/")
-        return f"/streams/:id/{verb}" if verb else "/streams/:id"
-    return path if path in _KNOWN_ROUTES else "other"
+        if verb in _STREAM_VERBS:
+            return f"/streams/:id/{verb}"
+        return "<unknown>"
+    return path if path in _KNOWN_ROUTES else "<unknown>"
 
 
 def _coerce(value: str) -> Any:
@@ -143,6 +169,19 @@ class ExperimentService:
         max_idle_seconds: streaming sessions untouched for this long
             are evicted from memory (their persisted checkpoint stays
             in the store; the next touch restores them transparently).
+        watchdog_interval_seconds: cadence of the background health
+            watchdog (telemetry sampling + SLO evaluation). The
+            watchdog is *constructed* here but only *started* by
+            :func:`make_server`, so pure-handler tests stay
+            single-threaded and drive ``GET /healthz`` synchronously.
+
+    When telemetry is enabled, the service owns a
+    :class:`~repro.obs.journal.MetricsJournal` at
+    ``<store root>/telemetry.sqlite`` (GC-exempt, survives restarts)
+    and a :class:`~repro.obs.rules.RuleEngine` over
+    :func:`~repro.obs.rules.default_rules`; ``REPRO_OBS_DISABLED``
+    leaves all three of ``journal``/``engine``/``watchdog`` as
+    ``None`` and ``GET /healthz`` falls back to direct probes only.
     """
 
     def __init__(
@@ -151,6 +190,7 @@ class ExperimentService:
         runner: Runner | None = None,
         queue: JobQueue | None = None,
         max_idle_seconds: float = 300.0,
+        watchdog_interval_seconds: float = 5.0,
     ) -> None:
         self.store = store
         self.runner = (
@@ -176,6 +216,30 @@ class ExperimentService:
         # join the sweep's trace. Bounded FIFO; purely observability.
         self._sweep_traces: dict[str, str] = {}
         self._sweep_traces_max = 256
+        self.journal: MetricsJournal | None = None
+        self.engine: RuleEngine | None = None
+        self.watchdog: HealthWatchdog | None = None
+        if is_enabled():
+            self.journal = MetricsJournal(store.journal_path)
+            self.engine = RuleEngine(self.journal, default_rules())
+            self.watchdog = HealthWatchdog(
+                self.journal,
+                self.engine,
+                interval_seconds=watchdog_interval_seconds,
+                collect=self._refresh_gauges,
+            )
+
+    def close(self) -> None:
+        """Stop the watchdog and close the telemetry journal.
+
+        The store, queue, and runner are caller-owned; only the
+        observability resources this service constructed are torn
+        down. Safe to call more than once.
+        """
+        if self.watchdog is not None:
+            self.watchdog.stop()
+        if self.journal is not None:
+            self.journal.close()
 
     # -- dispatch ----------------------------------------------------------
 
@@ -217,6 +281,10 @@ class ExperimentService:
         try:
             if method == "GET" and path == "/stats":
                 return self._get_stats()
+            if method == "GET" and path == "/healthz":
+                return self._get_healthz()
+            if method == "GET" and path == "/alerts":
+                return self._get_alerts()
             if method == "GET" and path == "/results":
                 return self._get_results(query)
             if method == "GET" and path == "/progress":
@@ -319,14 +387,16 @@ class ExperimentService:
         summary["spans_collected"] = len(COLLECTOR)
         return summary
 
-    def scrape_metrics(self) -> str:
-        """Prometheus text for ``GET /metrics``.
+    def _refresh_gauges(self) -> None:
+        """Refresh every scrape-time gauge from its owning layer.
 
-        Scrape-time gauges (queue depth, store entry counts, live
-        sessions) are refreshed from the owning layers here, so the
-        exposition reflects current state, not last-touch state.
+        Shared by ``GET /metrics`` scrapes and the health watchdog's
+        collect hook, so journal samples and expositions both reflect
+        current state (queue depth *and* SLO lag, store entry counts,
+        live sessions), not last-touch state.
         """
         self.queue.stats()  # refreshes the repro_sched_jobs gauges
+        self.queue.slo_snapshot()  # refreshes queue-age / lease gauges
         store_stats = self.store.stats()
         for kind in ("result", "stream", "ckpt"):
             _OBS_STORE_ENTRIES.set(store_stats[f"{kind}_entries"], kind=kind)
@@ -336,7 +406,63 @@ class ExperimentService:
             _OBS_SESSIONS.set(len(self._sessions), state="active")
             _OBS_SESSIONS.set(self._sessions_restored, state="restored")
             _OBS_SESSIONS.set(self._sessions_evicted, state="evicted")
+
+    def scrape_metrics(self) -> str:
+        """Prometheus text for ``GET /metrics`` (gauges refreshed first)."""
+        self._refresh_gauges()
         return REGISTRY.render()
+
+    # -- health routes -----------------------------------------------------
+
+    def _store_writable(self) -> bool:
+        """Probe the artifact root with a real write + unlink."""
+        probe = self.store.root / f".healthz-{uuid.uuid4().hex[:8]}"
+        try:
+            probe.write_bytes(b"")
+            probe.unlink()
+            return True
+        except OSError:
+            return False
+
+    def _get_healthz(self) -> tuple[int, dict]:
+        """Componentwise health: 200 when everything is ok, 503 if not.
+
+        When the background watchdog is not running (pure-handler use,
+        or a service that was never started), a synchronous watchdog
+        tick samples the journal and re-evaluates the rules first, so
+        the report is current either way. Works with telemetry
+        disabled too — the componentwise probes don't need the
+        registry, there are just no alerts to fold in.
+        """
+        if self.watchdog is not None and not self.watchdog.running:
+            self.watchdog.tick()
+        slo = self.queue.slo_snapshot()
+        with self._streams_lock:
+            sessions = {
+                "active": len(self._sessions),
+                "restored": self._sessions_restored,
+                "evicted": self._sessions_evicted,
+            }
+        report = component_health(
+            self._store_writable(), slo, sessions, self.engine
+        )
+        return (200 if report["status"] == "ok" else 503), self._envelope(report)
+
+    def _get_alerts(self) -> tuple[int, dict]:
+        """Alert records with firing/resolved state (re-evaluated if idle)."""
+        if self.engine is None:
+            return 200, self._envelope(
+                {"enabled": False, "alerts": [], "firing": []}
+            )
+        if self.watchdog is not None and not self.watchdog.running:
+            self.watchdog.tick()
+        return 200, self._envelope(
+            {
+                "enabled": True,
+                "alerts": self.engine.alerts(),
+                "firing": self.engine.firing(),
+            }
+        )
 
     def _get_run(self, key: str) -> tuple[int, dict]:
         if not key or "/" in key:
@@ -975,6 +1101,11 @@ class ExperimentServer(ThreadingHTTPServer):
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    def server_close(self) -> None:
+        """Tear down sockets, then the service's watchdog + journal."""
+        super().server_close()
+        self.service.close()
+
 
 def make_server(
     store: ExperimentStore | str,
@@ -983,14 +1114,25 @@ def make_server(
     workers: int = 0,
     verbose: bool = False,
     max_idle_seconds: float = 300.0,
+    watchdog_interval_seconds: float = 5.0,
 ) -> ExperimentServer:
-    """Build a ready-to-run server (``port=0`` picks a free port)."""
+    """Build a ready-to-run server (``port=0`` picks a free port).
+
+    The health watchdog starts here (when telemetry is enabled): a
+    served store journals its metrics and evaluates SLO rules on the
+    ``watchdog_interval_seconds`` cadence until ``server_close()``.
+    """
     if not isinstance(store, ExperimentStore):
         store = ExperimentStore(store)
     runner = Runner(workers=workers, cache=MissStreamCache(), store=store)
     service = ExperimentService(
-        store, runner, max_idle_seconds=max_idle_seconds
+        store,
+        runner,
+        max_idle_seconds=max_idle_seconds,
+        watchdog_interval_seconds=watchdog_interval_seconds,
     )
+    if service.watchdog is not None:
+        service.watchdog.start()
     return ExperimentServer((host, port), service, verbose)
 
 

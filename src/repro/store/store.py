@@ -250,6 +250,17 @@ class ExperimentStore:
     def __repr__(self) -> str:
         return f"ExperimentStore({str(self.root)!r}, max_bytes={self.max_bytes})"
 
+    @property
+    def journal_path(self) -> Path:
+        """Where the telemetry journal lives: beside ``index.sqlite``.
+
+        The journal is operational history, not an artifact — it sits
+        next to the indexes (like ``jobs.sqlite``) rather than inside
+        ``results/``/``streams/``/``ckpt/``, so :meth:`gc` never
+        considers it and a budget-pressured store keeps its telemetry.
+        """
+        return self.root / "telemetry.sqlite"
+
     # -- small internals ---------------------------------------------------
 
     def _bump(self, name: str, delta: int = 1) -> None:
@@ -428,32 +439,76 @@ class ExperimentStore:
     ) -> list[str]:
         """Store a batch of executed specs in one index transaction.
 
-        Artifact writes are atomic per file; the index rows commit
-        together, which keeps a cold sweep's write-back cost to a single
-        fsync instead of one per spec.
+        The cold-sweep write-back path, kept inside the smoke bench's
+        <5% ``store_cold_overhead_fraction`` budget: rows are
+        serialized compactly up front (a shallow field copy — every
+        stats field is a JSON scalar except ``extra`` — instead of
+        ``dataclasses.asdict``'s deep recursion), artifacts are written
+        before the transaction opens so the index write lock is never
+        held across file I/O, and the whole batch costs three index
+        statements (one LRU-clock advance, one ``executemany`` of entry
+        rows, one byte-counter bump) rather than three per spec.
         """
         pairs = list(pairs)
-        keys: list[str] = []
         began = time.perf_counter()
+        keys: list[str] = []
+        encoded: list[tuple[str, str, bytes, str, str]] = []
+        for spec, stats in pairs:
+            key = spec.key()
+            rel = f"results/{key}.json"
+            run = dict(vars(stats))
+            run["extra"] = dict(run["extra"])
+            payload = {
+                "schema": STORE_SCHEMA,
+                "key": key,
+                "spec": spec.to_dict(),
+                "run": run,
+            }
+            data = (
+                json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+            ).encode()
+            encoded.append((key, rel, data, spec.workload, spec.mechanism.label))
+            keys.append(key)
         with trace("store.put_results", count=len(pairs)), self._lock:
+            for _, rel, data, _, _ in encoded:
+                self._write_atomic(self.root / rel, data)
+            now = time.time()
             self._db.execute("BEGIN IMMEDIATE")
             try:
-                for spec, stats in pairs:
-                    key = spec.key()
-                    rel = f"results/{key}.json"
-                    payload = {
-                        "schema": STORE_SCHEMA,
-                        "key": key,
-                        "spec": spec.to_dict(),
-                        "run": asdict(stats),
-                    }
-                    data = (json.dumps(payload, sort_keys=True) + "\n").encode()
-                    self._write_atomic(self.root / rel, data)
-                    self._record_entry(
-                        _RESULT, key, rel, len(data), spec.workload,
-                        spec.mechanism.label,
+                if encoded:
+                    # One LRU-clock advance covers the batch; entry i
+                    # takes seq base+i+1, preserving relative recency.
+                    base = (
+                        self._db.execute(
+                            "INSERT INTO counters (name, value) "
+                            "VALUES ('access_seq', ?) "
+                            "ON CONFLICT(name) DO UPDATE SET "
+                            "value = value + excluded.value RETURNING value",
+                            (len(encoded),),
+                        ).fetchone()[0]
+                        - len(encoded)
                     )
-                    keys.append(key)
+                    self._db.executemany(
+                        "INSERT INTO entries "
+                        "(kind, key, path, size_bytes, created_at, last_access,"
+                        " workload, mechanism) VALUES (?, ?, ?, ?, ?, ?, ?, ?) "
+                        "ON CONFLICT(kind, key) DO UPDATE SET path=excluded.path,"
+                        " size_bytes=excluded.size_bytes,"
+                        " last_access=excluded.last_access,"
+                        " workload=excluded.workload,"
+                        " mechanism=excluded.mechanism",
+                        [
+                            (
+                                _RESULT, key, rel, len(data), now, base + i + 1,
+                                workload, mechanism,
+                            )
+                            for i, (key, rel, data, workload, mechanism)
+                            in enumerate(encoded)
+                        ],
+                    )
+                    self._bump(
+                        "bytes_written", sum(len(data) for _, _, data, _, _ in encoded)
+                    )
                 self._db.execute("COMMIT")
             except BaseException:
                 self._db.execute("ROLLBACK")

@@ -7,7 +7,7 @@ import pytest
 
 from repro.cli import main
 from repro.obs import COLLECTOR
-from repro.obs.console import render_top
+from repro.obs.console import render_top, sparkline
 from repro.service import make_server
 
 
@@ -110,3 +110,32 @@ class TestTopVerb:
 
     def test_render_top_without_history_shows_placeholder(self):
         assert "rps -" in render_top({"metrics": {"http_requests": 3}})
+
+
+class TestSparklines:
+    def test_empty_series_renders_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_sits_at_the_lowest_level(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_ramp_uses_the_full_range(self):
+        spark = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert spark[0] == "▁"
+        assert spark[-1] == "█"
+        assert len(spark) == 4
+
+    def test_window_keeps_only_the_trailing_samples(self):
+        assert len(sparkline(list(range(100)), width=30)) == 30
+
+    def test_render_top_shows_trend_lines(self):
+        frame = render_top(
+            {"metrics": {"http_requests": 3}},
+            history={"p99_ms": [1.0, 2.0, 9.0], "queued": [0.0, 0.0, 0.0]},
+        )
+        assert "trends" in frame
+        assert "p99_ms" in frame
+        assert "█" in frame  # the 9.0 spike tops out the ramp
+
+    def test_render_top_omits_trends_without_history(self):
+        assert "trends" not in render_top({"metrics": {}})

@@ -20,7 +20,7 @@ from repro.obs import COLLECTOR, current_context, trace
 from repro.obs.metrics import parse_prometheus
 from repro.run import MissStreamCache, Runner, RunSpec
 from repro.sched import SchedulerClient, Worker
-from repro.service import make_server
+from repro.service import ServiceClient, ServiceError, make_server
 
 SCALE = 0.05
 
@@ -49,7 +49,7 @@ def server(tmp_path):
 @pytest.fixture
 def client(server):
     client = SchedulerClient(server.url)
-    client.wait_ready()
+    client.wait_healthy()
     return client
 
 
@@ -272,3 +272,109 @@ class TestAccessLogs:
                 time.sleep(0.02)
         assert hits, "no access-log line for GET /stats"
         assert any("200" in record.getMessage() for record in hits)
+
+
+def hit(url: str, path: str) -> int:
+    """GET an arbitrary path, returning the status (404s included)."""
+    try:
+        with urllib.request.urlopen(url + path, timeout=10) as response:
+            return response.status
+    except urllib.error.HTTPError as exc:
+        return exc.code
+
+
+class TestRouteCardinality:
+    def test_unroutable_paths_share_one_unknown_label(self, server, client):
+        """Arbitrary 404 paths must not mint new route labels — an
+        attacker (or a typo loop) probing random URLs would otherwise
+        grow /metrics without bound."""
+        before = scrape(server.url)
+        bogus = [
+            "/totally/made/up",
+            "/runsx",  # near-miss on a real route prefix
+            "/streams/sess-1/frobnicate",  # unknown stream verb
+            "/..%2f..%2fetc",
+            "/metrics2",
+        ]
+        for path in bogus:
+            assert hit(server.url, path) == 404
+        after = scrape(server.url)
+        unknown = metric_sum(
+            after, "repro_http_requests_total", route="<unknown>"
+        ) - metric_sum(before, "repro_http_requests_total", route="<unknown>")
+        assert unknown == len(bogus)
+        routes = {
+            dict(labels).get("route")
+            for labels in after["repro_http_requests_total"]
+        }
+        for path in bogus:
+            assert path not in routes
+        # The label set is bounded: every route is either a known
+        # template or the single unknown bucket.
+        for route in routes:
+            assert route == "<unknown>" or route.startswith("/")
+            assert "frobnicate" not in route
+
+
+class TestHealthOverHTTP:
+    def test_healthz_and_alerts_on_a_healthy_service(self, server, client):
+        report = client.healthz()
+        assert report["status"] == "ok"
+        assert set(report["components"]) >= {
+            "store", "queue", "workers", "sessions",
+        }
+        alerts = client.alerts()
+        assert alerts["enabled"] is True
+        assert alerts["firing"] == []
+        assert {a["name"] for a in alerts["alerts"]} == {
+            "service_p99_latency",
+            "queue_oldest_claimable_age",
+            "worker_heartbeat_stale",
+            "service_error_ratio",
+            "stream_sessions_idle_pileup",
+        }
+
+    def test_firing_alerts_appear_in_the_metrics_scrape(self, server, client):
+        # The background watchdog's first tick is seconds away; drive
+        # one synchronously so the alert gauges exist to scrape.
+        server.service.watchdog.tick()
+        parsed = scrape(server.url)
+        assert "repro_alerts_firing" in parsed
+        # Only this server's stock rules: the mirror gauge lives on
+        # the process-wide registry, so other suites' ad-hoc alerts
+        # may coexist in the scrape.
+        for rule in server.service.engine.rules:
+            assert (
+                metric_sum(parsed, "repro_alerts_firing", alert=rule.name)
+                == 0.0
+            )
+
+    def test_degraded_service_returns_503(self, server, client):
+        server.service._store_writable = lambda: False
+        try:
+            with pytest.raises(ServiceError) as err:
+                client.healthz()
+            assert err.value.status == 503
+            assert err.value.payload["status"] == "degraded"
+            assert (
+                err.value.payload["components"]["store"]["status"]
+                == "degraded"
+            )
+        finally:
+            del server.service._store_writable
+
+    def test_wait_healthy_times_out_while_degraded(self, server):
+        server.service._store_writable = lambda: False
+        try:
+            fresh = ServiceClient(server.url)
+            began = time.monotonic()
+            with pytest.raises(ServiceError) as err:
+                fresh.wait_healthy(timeout=0.5, interval=0.05)
+            assert err.value.status == 503
+            assert time.monotonic() - began >= 0.4  # it really polled
+        finally:
+            del server.service._store_writable
+
+    def test_wait_healthy_returns_the_report_when_ok(self, server):
+        report = ServiceClient(server.url).wait_healthy(timeout=10.0)
+        assert report["status"] == "ok"

@@ -44,7 +44,7 @@ def server(tmp_path):
 @pytest.fixture
 def client(server):
     client = SchedulerClient(server.url)
-    client.wait_ready()
+    client.wait_healthy()
     return client
 
 

@@ -40,7 +40,7 @@ def server(tmp_path):
 @pytest.fixture
 def client(server):
     client = ServiceClient(server.url)
-    client.wait_ready()
+    client.wait_healthy()
     return client
 
 
@@ -91,7 +91,7 @@ class TestRoutes:
         import concurrent.futures
 
         first = ServiceClient(server.url)
-        first.wait_ready()
+        first.wait_healthy()
         first.submit([SPEC_PAYLOAD])  # pre-store the spec
         with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
             batches = list(

@@ -233,7 +233,7 @@ class TestOverHTTP:
     @pytest.fixture
     def client(self, server):
         client = ServiceClient(server.url)
-        client.wait_ready()
+        client.wait_healthy()
         return client
 
     def test_client_wrappers_round_trip(self, client):
