@@ -239,6 +239,168 @@ def obs_phase(runner: Runner, specs: list[RunSpec], repeats: int) -> dict:
     }
 
 
+def load_phase(spec: RunSpec, clients: int, duration: float = 2.0) -> dict:
+    """Hammer a tenant-gated server with ``clients`` concurrent clients.
+
+    Two tenants share a deliberately small admission envelope
+    (``max_inflight=16``, ``max_queue=32``), so a fraction of the flood
+    *must* be shed — the phase measures that the overload path is
+    correct, not that it never happens. Every response is bucketed:
+    2xx latencies feed ``load_p50_ms``/``load_p99_ms``, every 429 must
+    carry a ``Retry-After`` header, and any 5xx fails the benchmark
+    (overload is answered with backpressure, never with a crash).
+    ``load_identical`` re-runs the same spec through a tokened
+    ``POST /runs`` before and after the flood: admission control and
+    shedding must not perturb result bytes.
+    """
+    import urllib.error
+    import urllib.request
+
+    from repro.service import make_server
+    from repro.service.admission import AdmissionController, TenantConfig
+
+    # The flood tenants get rate budgets well below what `clients`
+    # concurrent loops can attempt, so a healthy fraction of the flood
+    # is *guaranteed* to be rejected with 429 — that rejection path is
+    # what this phase measures. The byte-identity runs use a third
+    # tenant whose untouched bucket stays full through the flood.
+    tenants = (
+        TenantConfig(
+            name="alpha", token="bench-alpha", rate=150.0, burst=75.0,
+            cost_rate=500.0, cost_burst=10_000.0,
+        ),
+        TenantConfig(
+            name="beta", token="bench-beta", rate=150.0, burst=75.0,
+            cost_rate=500.0, cost_burst=10_000.0,
+        ),
+        TenantConfig(
+            name="check", token="bench-check", rate=1000.0, burst=1000.0,
+            cost_rate=500.0, cost_burst=10_000.0,
+        ),
+    )
+    admission = AdmissionController(
+        tenants=tenants,
+        max_inflight=16,
+        max_queue=32,
+        queue_wait_seconds=0.05,
+        shed_retry_after=0.05,
+    )
+
+    def call(token: str, method: str, path: str, body: dict | None = None):
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            server.url + path,
+            data=data,
+            method=method,
+            headers={
+                "Content-Type": "application/json",
+                "Authorization": f"Bearer {token}",
+            },
+        )
+        started = time.perf_counter()
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                payload = json.loads(response.read())
+                headers = dict(response.headers)
+                status = response.status
+        except urllib.error.HTTPError as exc:
+            payload = json.loads(exc.read() or b"{}")
+            headers = dict(exc.headers)
+            status = exc.code
+        except OSError:
+            # A reset/timed-out connection: recorded as status 0 so the
+            # client keeps flooding (and the record keeps the count).
+            payload, headers, status = {}, {}, 0
+        return status, headers, payload, time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory(prefix="repro-load-smoke-") as root:
+        server = make_server(Path(root) / "store", port=0, admission=admission)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            run_body = {"specs": [spec.to_dict()]}
+            status, _, before, _ = call("bench-check", "POST", "/runs", run_body)
+            assert status == 200, before
+            reference = json.dumps(before["runs"], sort_keys=True)
+
+            # The flood proper: each client loops a read/claim/complete
+            # mix until the deadline, recording every (status, latency,
+            # has-Retry-After) triple. Tokens alternate so both tenant
+            # buckets drain.
+            samples: list[list[tuple[int, float, bool]]] = [
+                [] for _ in range(clients)
+            ]
+            begin = threading.Barrier(clients + 1)
+
+            def client_loop(index: int) -> None:
+                token = "bench-alpha" if index % 2 == 0 else "bench-beta"
+                requests = (
+                    ("GET", "/results?limit=2", None),
+                    ("GET", "/stats", None),
+                    ("POST", "/claim", {"worker_id": f"load-{index}", "limit": 1}),
+                    ("POST", "/complete", {"job_id": "load-bogus", "worker_id": f"load-{index}"}),
+                )
+                begin.wait(timeout=60)
+                deadline = time.perf_counter() + duration
+                step = index
+                while time.perf_counter() < deadline:
+                    method, path, body = requests[step % len(requests)]
+                    step += 1
+                    status, headers, _, latency = call(token, method, path, body)
+                    samples[index].append(
+                        (status, latency, "Retry-After" in headers)
+                    )
+
+            threads = [
+                threading.Thread(target=client_loop, args=(index,))
+                for index in range(clients)
+            ]
+            for worker in threads:
+                worker.start()
+            begin.wait(timeout=60)
+            flood_started = time.perf_counter()
+            for worker in threads:
+                worker.join(timeout=120)
+            flood_elapsed = time.perf_counter() - flood_started
+
+            status, _, after, _ = call("bench-check", "POST", "/runs", run_body)
+            assert status == 200, after
+            identical = json.dumps(after["runs"], sort_keys=True) == reference
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    flat = [sample for per_client in samples for sample in per_client]
+    ok_latencies = sorted(
+        latency for status, latency, _ in flat if 200 <= status < 300
+    )
+    shed = [sample for sample in flat if sample[0] == 429]
+    missing_retry_after = sum(1 for _, _, hinted in shed if not hinted)
+    server_errors = sum(1 for status, _, _ in flat if status >= 500)
+    conn_errors = sum(1 for status, _, _ in flat if status == 0)
+
+    def quantile(values: list[float], q: float) -> float:
+        if not values:
+            return 0.0
+        return values[min(len(values) - 1, int(q * len(values)))]
+
+    return {
+        "load_clients": clients,
+        "load_requests_total": len(flat),
+        "load_p50_ms": round(quantile(ok_latencies, 0.50) * 1000.0, 3),
+        "load_p99_ms": round(quantile(ok_latencies, 0.99) * 1000.0, 3),
+        "load_requests_per_second": round(len(flat) / flood_elapsed, 1)
+        if flood_elapsed
+        else 0.0,
+        "load_shed_429_total": len(shed),
+        "load_429_missing_retry_after": missing_retry_after,
+        "load_5xx_total": server_errors,
+        "load_conn_errors": conn_errors,
+        "load_identical": identical,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_smoke.json", help="output JSON path")
@@ -263,6 +425,14 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="also run the batch through the sweep scheduler with 1..N "
         "worker subprocesses and record the scaling (0 = skip)",
+    )
+    parser.add_argument(
+        "--load-clients",
+        type=int,
+        default=0,
+        help="also flood a tenant-gated in-process server with N "
+        "concurrent clients and record the admission-control latency "
+        "quantiles and shed counts (0 = skip)",
     )
     parser.add_argument(
         "--history",
@@ -416,6 +586,28 @@ def main(argv: list[str] | None = None) -> int:
                 specs, results.to_json(), args.distributed_workers
             )
 
+    # Load phase: a tenant-gated server under a deliberate overload —
+    # latency quantiles for the admitted, 429 + Retry-After for the
+    # shed, and byte-identical results either way.
+    load: dict = {
+        "load_clients": None,
+        "load_requests_total": None,
+        "load_p50_ms": None,
+        "load_p99_ms": None,
+        "load_requests_per_second": None,
+        "load_shed_429_total": None,
+        "load_429_missing_retry_after": None,
+        "load_5xx_total": None,
+        "load_conn_errors": None,
+        "load_identical": None,
+    }
+    if args.load_clients > 0:
+        with profiler.phase("load"):
+            load = load_phase(
+                RunSpec.of("galgel", "DP", scale=args.scale, rows=256),
+                args.load_clients,
+            )
+
     # Observability phase: what did the telemetry layer itself cost,
     # and what service latencies did it observe along the way?
     with profiler.phase("obs"):
@@ -459,6 +651,7 @@ def main(argv: list[str] | None = None) -> int:
         "store_bytes": store_bytes,
         **streaming,
         **distributed,
+        **load,
         **obs_record,
         "phase_seconds": {
             name: round(seconds, 4)
@@ -527,6 +720,18 @@ def main(argv: list[str] | None = None) -> int:
         f"{obs_record['service_requests_observed']} requests; peak RSS "
         f"{record['peak_rss_bytes'] // (1024 * 1024)} MiB"
     )
+    if load["load_clients"]:
+        print(
+            f"[smoke] load: {load['load_clients']} clients, "
+            f"{load['load_requests_total']} requests "
+            f"({load['load_requests_per_second']} req/s), p50 "
+            f"{load['load_p50_ms']:.1f}ms / p99 {load['load_p99_ms']:.1f}ms, "
+            f"{load['load_shed_429_total']} shed with 429 "
+            f"({load['load_429_missing_retry_after']} missing Retry-After), "
+            f"{load['load_5xx_total']} server errors, "
+            f"{load['load_conn_errors']} connection errors, "
+            f"bit-identical={load['load_identical']}"
+        )
     if distributed["distributed_workers"]:
         print(
             f"[smoke] distributed: {distributed['distributed_workers']} workers "
@@ -565,6 +770,21 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "[smoke] ERROR: streamed/resumed replay diverged from one-shot"
         )
+        return 1
+    if load["load_5xx_total"]:
+        print(
+            f"[smoke] ERROR: {load['load_5xx_total']} 5xx responses under "
+            f"load — overload must shed with 429, never crash"
+        )
+        return 1
+    if load["load_429_missing_retry_after"]:
+        print(
+            f"[smoke] ERROR: {load['load_429_missing_retry_after']} shed "
+            f"responses lacked a Retry-After header"
+        )
+        return 1
+    if load["load_identical"] is False:
+        print("[smoke] ERROR: results diverged under admission-control load")
         return 1
     return 0
 

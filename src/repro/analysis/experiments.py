@@ -83,6 +83,8 @@ class ExperimentContext:
             executor.
         request_timeout: per-HTTP-request socket timeout (seconds) for
             the distributed executor's service client.
+        service_token: API token for a tenant-mode service (forwarded
+            to the distributed executor's client).
     """
 
     def __init__(
@@ -96,6 +98,7 @@ class ExperimentContext:
         executor: str = "auto",
         service_url: str | None = None,
         request_timeout: float = 30.0,
+        service_token: str | None = None,
     ) -> None:
         if runner is not None and (
             store is not None or service_url is not None or executor != "auto"
@@ -115,6 +118,7 @@ class ExperimentContext:
                 executor=executor,
                 service_url=service_url,
                 request_timeout=request_timeout,
+                service_token=service_token,
             )
         )
         self.engine = engine

@@ -109,6 +109,16 @@ def _add_request_timeout(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_token(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--token",
+        help=(
+            "API token for a tenant-mode service (sent as "
+            "'Authorization: Bearer <token>'); omit for an open service"
+        ),
+    )
+
+
 def _add_service_url(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--service-url",
@@ -119,6 +129,7 @@ def _add_service_url(parser: argparse.ArgumentParser) -> None:
         ),
     )
     _add_request_timeout(parser)
+    _add_token(parser)
 
 
 def _add_url(parser: argparse.ArgumentParser) -> None:
@@ -126,6 +137,7 @@ def _add_url(parser: argparse.ArgumentParser) -> None:
         "--url", required=True, help="scheduler service address (repro-tlb serve)"
     )
     _add_request_timeout(parser)
+    _add_token(parser)
 
 
 def _add_engine(parser: argparse.ArgumentParser) -> None:
@@ -278,6 +290,23 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help=(
+            "concurrent requests allowed past admission (default 64); "
+            "overload beyond the wait queue is shed with 429 + Retry-After"
+        ),
+    )
+    serve.add_argument(
+        "--tenant-config",
+        help=(
+            "JSON file of tenant objects ({name, token, rate, burst, "
+            "cost_rate, cost_burst, worker}); when given, every request "
+            "must present a configured token and is scoped to its tenant"
+        ),
+    )
     _add_workers(serve)
 
     worker = sub.add_parser(
@@ -367,6 +396,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the raw span JSON instead of the flame rendering",
     )
     _add_request_timeout(trace)
+    _add_token(trace)
 
     top = sub.add_parser(
         "top", help="live one-screen service summary (rps, latency, queues)"
@@ -574,6 +604,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         workers=args.workers,
         verbose=args.verbose,
+        max_inflight=args.max_inflight,
+        tenant_config=args.tenant_config,
     )
 
 
@@ -591,6 +623,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         crash_after_claims=args.crash_after_claims,
         slow_seconds=args.slow_seconds,
         request_timeout=args.request_timeout,
+        token=args.token,
     )
 
 
@@ -620,7 +653,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             for app in args.apps
             for mechanism in mechanisms
         ]
-    client = SchedulerClient(args.url, timeout=args.request_timeout)
+    client = SchedulerClient(args.url, timeout=args.request_timeout, token=args.token)
     if args.wait:
         results = client.submit_sweep(
             specs, sweep_id=args.sweep_id, max_attempts=args.max_attempts
@@ -658,7 +691,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         from repro.sched import SchedulerClient
 
-        client = SchedulerClient(args.url, timeout=args.request_timeout)
+        client = SchedulerClient(
+            args.url, timeout=args.request_timeout, token=args.token
+        )
         if not args.trace_id:
             traces = client.fetch_trace()["traces"]
             if not traces:
@@ -690,7 +725,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
     from repro.obs.console import render_top
     from repro.sched import SchedulerClient
 
-    client = SchedulerClient(args.url, timeout=args.request_timeout)
+    client = SchedulerClient(args.url, timeout=args.request_timeout, token=args.token)
     previous: dict | None = None
     previous_at: float | None = None
     # Per-refresh trend series rendered as sparklines; bounded to the
@@ -734,7 +769,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
 def _cmd_health(args: argparse.Namespace) -> int:
     from repro.service import ServiceClient, ServiceError
 
-    client = ServiceClient(args.url, timeout=args.request_timeout)
+    client = ServiceClient(args.url, timeout=args.request_timeout, token=args.token)
     try:
         report = client.healthz()
         degraded = False
@@ -760,7 +795,7 @@ def _cmd_health(args: argparse.Namespace) -> int:
 def _cmd_alerts(args: argparse.Namespace) -> int:
     from repro.service import ServiceClient
 
-    client = ServiceClient(args.url, timeout=args.request_timeout)
+    client = ServiceClient(args.url, timeout=args.request_timeout, token=args.token)
     payload = client.alerts()
     if not payload.get("enabled", False):
         print("telemetry disabled: no alert engine on this service")
@@ -794,7 +829,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_jobs(args: argparse.Namespace) -> int:
     from repro.sched import SchedulerClient
 
-    client = SchedulerClient(args.url, timeout=args.request_timeout)
+    client = SchedulerClient(args.url, timeout=args.request_timeout, token=args.token)
     if args.jobs_command == "status":
         progress = client.progress(getattr(args, "sweep", None))
         scope = progress["sweep_id"] or "all sweeps"
@@ -877,6 +912,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         store=getattr(args, "store", None),
         service_url=getattr(args, "service_url", None),
         request_timeout=getattr(args, "request_timeout", 30.0),
+        service_token=getattr(args, "token", None),
     )
     if args.command == "table2":
         print(compare_table2(context.run_table2()))

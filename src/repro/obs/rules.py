@@ -163,12 +163,13 @@ def default_rules(
     heartbeat_overdue_seconds: float = 5.0,
     error_ratio: float = 0.10,
     idle_sessions: int = 64,
+    shed_per_minute: float = 30.0,
 ) -> list[Rule]:
     """The service's stock SLO rule set (thresholds overridable).
 
-    Five rules, one per failure mode the ISSUE names: slow requests,
-    a backed-up queue, workers that stopped heartbeating, a 5xx error
-    ratio, and streaming sessions piling up idle.
+    Six rules, one per failure mode: slow requests, a backed-up queue,
+    workers that stopped heartbeating, a 5xx error ratio, streaming
+    sessions piling up idle, and sustained admission load-shedding.
     """
     return [
         Rule(
@@ -229,6 +230,18 @@ def default_rules(
             component="sessions",
             severity="warning",
             description="streaming sessions piling up without eviction",
+        ),
+        Rule(
+            name="admission_shed_rate",
+            metric="repro_admission_requests_total",
+            op=">",
+            threshold=shed_per_minute,
+            window_seconds=60.0,
+            aggregate="increase",
+            labels={"outcome": "shed"},
+            component="admission",
+            severity="warning",
+            description="load shedding above the admission SLO",
         ),
     ]
 

@@ -312,6 +312,8 @@ class Runner:
             the distributed executor's service client (not the sweep
             deadline — a hung socket fails fast instead of masking the
             outage as an endless poll).
+        service_token: API token for a tenant-mode service; forwarded
+            to the distributed executor's client.
         checkpoint_every: when > 0, in-process replays run through a
             suspendable :class:`~repro.ckpt.ReplaySession`, leaving a
             resume bookmark in the store every N miss entries. A run
@@ -332,6 +334,7 @@ class Runner:
         service_url: str | None = None,
         checkpoint_every: int = 0,
         request_timeout: float = 30.0,
+        service_token: str | None = None,
     ) -> None:
         from repro.errors import ConfigurationError
 
@@ -360,13 +363,16 @@ class Runner:
         self.executor = executor
         self.service_url = service_url
         self.request_timeout = request_timeout
+        self.service_token = service_token
         self._distributed = None
         if executor == "distributed":
             # Local import: repro.sched builds on this module.
             from repro.sched.executor import DistributedExecutor
 
             self._distributed = DistributedExecutor(
-                service_url, request_timeout=request_timeout
+                service_url,
+                request_timeout=request_timeout,
+                token=service_token,
             )
 
     # -- miss streams ------------------------------------------------------

@@ -28,6 +28,7 @@ class DistributedExecutor:
         max_attempts: per-job claim budget forwarded to the queue.
         request_timeout: per-HTTP-request socket timeout in seconds —
             distinct from ``timeout``, the whole-sweep deadline.
+        token: API token for a tenant-mode service.
         client: injectable :class:`SchedulerClient` (tests).
     """
 
@@ -38,12 +39,13 @@ class DistributedExecutor:
         timeout: float | None = None,
         max_attempts: int | None = None,
         request_timeout: float = 30.0,
+        token: str | None = None,
         client: SchedulerClient | None = None,
     ) -> None:
         self.client = (
             client
             if client is not None
-            else SchedulerClient(service_url, timeout=request_timeout)
+            else SchedulerClient(service_url, timeout=request_timeout, token=token)
         )
         self.poll_interval = poll_interval
         self.timeout = timeout

@@ -92,6 +92,8 @@ class Worker:
         request_timeout: per-HTTP-request socket timeout in seconds —
             a hung service socket fails the request (and lets lease
             expiry recover) instead of wedging the worker forever.
+        token: API token for a tenant-mode service (the tenant must be
+            worker-capable, or ``/claim`` answers 403).
         client: injectable :class:`SchedulerClient` (tests).
     """
 
@@ -108,12 +110,13 @@ class Worker:
         crash_after_claims: int | None = None,
         slow_seconds: float = 0.0,
         request_timeout: float = 30.0,
+        token: str | None = None,
         client: SchedulerClient | None = None,
     ) -> None:
         self.client = (
             client
             if client is not None
-            else SchedulerClient(base_url, timeout=request_timeout)
+            else SchedulerClient(base_url, timeout=request_timeout, token=token)
         )
         self.worker_id = worker_id or default_worker_id()
         self.runner = Runner(cache=MissStreamCache(), store=store)
@@ -319,6 +322,7 @@ def run_worker(
     crash_after_claims: int | None = None,
     slow_seconds: float = 0.0,
     request_timeout: float = 30.0,
+    token: str | None = None,
 ) -> int:
     """Blocking CLI entry point (``repro-tlb worker``)."""
     worker = Worker(
@@ -332,6 +336,7 @@ def run_worker(
         crash_after_claims=crash_after_claims,
         slow_seconds=slow_seconds,
         request_timeout=request_timeout,
+        token=token,
     )
     print(
         f"repro-tlb worker {worker.worker_id} polling {worker.client.base_url} "

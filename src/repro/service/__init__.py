@@ -33,6 +33,16 @@ so they survive idle eviction and server restarts; the final
 statistics are byte-identical to a one-shot ``POST /runs`` of the same
 spec no matter how the stream was chunked.
 
+Every route except ``/healthz``, ``/alerts``, and ``/metrics`` passes
+through an :class:`~repro.service.admission.AdmissionController`
+first. With tenants configured (``serve --tenant-config``), requests
+authenticate with ``Authorization: Bearer <token>``, each tenant gets
+a token-bucket request rate plus a sweep cost budget, and results,
+streams, and sweeps are scoped to the submitting tenant. With no
+tenants the service runs open exactly as before — but the in-flight
+pool is still bounded, and overload is shed with ``429`` +
+``Retry-After`` instead of unbounded handler threads.
+
 Launch with ``repro-tlb serve --store DIR`` or programmatically via
 :func:`make_server`; :class:`~repro.service.client.ServiceClient` is a
 matching stdlib client for scripts and CI, and
@@ -40,8 +50,17 @@ matching stdlib client for scripts and CI, and
 protocol (plus ``submit_sweep``) on top of it.
 """
 
+from repro.service.admission import (
+    ADMISSION_SCHEMA,
+    AdmissionController,
+    CostTracker,
+    TenantConfig,
+    TokenBucket,
+    load_tenant_config,
+)
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.server import (
+    MAX_BODY_BYTES,
     SERVICE_SCHEMA,
     ExperimentService,
     make_server,
@@ -49,10 +68,17 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "ADMISSION_SCHEMA",
+    "AdmissionController",
+    "CostTracker",
     "ExperimentService",
+    "MAX_BODY_BYTES",
     "SERVICE_SCHEMA",
     "ServiceClient",
     "ServiceError",
+    "TenantConfig",
+    "TokenBucket",
+    "load_tenant_config",
     "make_server",
     "serve",
 ]

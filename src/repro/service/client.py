@@ -77,12 +77,39 @@ class ServiceError(ReproError):
     Attributes:
         status: HTTP status code (0 when the server was unreachable).
         payload: decoded JSON error payload, when there was one.
+        retry_after: the server's retry hint in seconds (from the
+            payload's precise float, falling back to the integer
+            ``Retry-After`` header), or ``None`` when it sent none.
     """
 
-    def __init__(self, status: int, payload: dict | None, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        payload: dict | None,
+        message: str,
+        retry_after: float | None = None,
+    ) -> None:
         self.status = status
         self.payload = payload or {}
+        self.retry_after = retry_after
         super().__init__(message)
+
+
+def _retry_after_hint(
+    payload: dict | None, exc: urllib.error.HTTPError
+) -> float | None:
+    """The server's retry hint: JSON float preferred, header fallback."""
+    if payload is not None:
+        value = payload.get("retry_after")
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return max(0.0, float(value))
+    header = exc.headers.get("Retry-After") if exc.headers is not None else None
+    if header is not None:
+        try:
+            return max(0.0, float(header))
+        except ValueError:
+            return None
+    return None
 
 
 class ServiceClient:
@@ -97,6 +124,9 @@ class ServiceClient:
             ``retry_backoff * 2**n`` plus up to one extra
             ``retry_backoff`` of jitter (decorrelates a worker fleet
             retrying in lockstep).
+        token: API token sent as ``Authorization: Bearer <token>`` on
+            every request (required when the service runs with
+            tenants; ignored by an open-mode service).
     """
 
     def __init__(
@@ -105,9 +135,11 @@ class ServiceClient:
         timeout: float = 30.0,
         max_retries: int = 3,
         retry_backoff: float = 0.1,
+        token: str | None = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.token = token
         self.max_retries = max(0, int(max_retries))
         self.retry_backoff = retry_backoff
         #: Total transient-failure retries this client has performed.
@@ -130,10 +162,15 @@ class ServiceClient:
         """One request; returns the decoded payload or raises ServiceError.
 
         ``idempotent`` controls transient-failure retrying; by default
-        only GETs qualify. An HTTP error status is never retried — the
-        server answered, retrying would not change its mind.
-        ``timeout`` overrides the client-wide socket timeout for this
-        one request (a long streaming advance next to quick polls).
+        only GETs qualify. An HTTP error status is not retried — the
+        server answered, retrying would not change its mind — with one
+        exception: a 429 or 503 carrying a ``Retry-After`` hint is the
+        server explicitly saying "ask again in N seconds", and those
+        are retried (any method — an admission rejection means the
+        request never reached a handler) after sleeping the hinted
+        delay, capped by this request's ``timeout``. ``timeout``
+        overrides the client-wide socket timeout for this one request
+        (a long streaming advance next to quick polls).
         """
         data = json.dumps(payload).encode() if payload is not None else None
         method = method or ("POST" if data is not None else "GET")
@@ -143,6 +180,8 @@ class ServiceClient:
             timeout = self.timeout
         attempt = 0
         headers = {"Content-Type": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
         # Propagate the active trace so the server's spans (and any
         # worker spans downstream of it) join the caller's trace.
         trace_ctx = current_context()
@@ -167,9 +206,29 @@ class ServiceClient:
                 except (json.JSONDecodeError, ValueError):
                     decoded = None
                 message = (decoded or {}).get("error", body.decode(errors="replace"))
+                retry_after = _retry_after_hint(decoded, exc)
+                if (
+                    exc.code in (429, 503)
+                    and retry_after is not None
+                    and attempt < self.max_retries
+                ):
+                    # Honor the server's hint instead of the blind
+                    # exponential schedule, but never sleep past this
+                    # request's own timeout budget.
+                    delay = min(retry_after, timeout)
+                    attempt += 1
+                    self.retries += 1
+                    self.backoff_seconds += delay
+                    _OBS_RETRIES.inc(cause=f"http_{exc.code}")
+                    _OBS_BACKOFF.inc(delay)
+                    time.sleep(delay)
+                    continue
                 _OBS_REQUESTS.inc(method=method, outcome="http_error")
                 raise ServiceError(
-                    exc.code, decoded, f"{method} {path} -> {exc.code}: {message}"
+                    exc.code,
+                    decoded,
+                    f"{method} {path} -> {exc.code}: {message}",
+                    retry_after=retry_after,
                 ) from exc
             except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
                 if not idempotent or attempt >= self.max_retries:
@@ -193,7 +252,9 @@ class ServiceClient:
             try:
                 return self.stats()
             except ServiceError as exc:
-                if exc.status != 0 or time.monotonic() >= deadline:
+                # 429 means the socket answered but admission shed the
+                # poll — the service is up and busy; keep waiting.
+                if exc.status not in (0, 429) or time.monotonic() >= deadline:
                     raise
                 time.sleep(interval)
 
@@ -214,7 +275,10 @@ class ServiceClient:
             try:
                 return self.healthz()
             except ServiceError as exc:
-                retryable = exc.status == 0 or exc.status == 503
+                # ``/healthz`` bypasses admission, so a 429 here can
+                # only come from a proxy in front of the service —
+                # still worth waiting out, like 503 "degraded".
+                retryable = exc.status in (0, 503, 429)
                 if not retryable or time.monotonic() >= deadline:
                     raise
                 time.sleep(interval)

@@ -37,16 +37,31 @@ queue lag, worker leases, live sessions; 200 ok / 503 degraded) and
 telemetry is enabled the service also journals registry snapshots to
 ``<store>/telemetry.sqlite`` on a watchdog cadence, so latency and
 queue history survive restarts and feed ``repro-tlb top`` trends.
+
+Every request passes through an
+:class:`~repro.service.admission.AdmissionController` first: API
+tokens map to per-tenant namespaces (tenant-scoped result, stream, and
+sweep visibility over the shared content-addressed artifacts), each
+tenant has a token-bucket request rate and a sweep cost budget checked
+before dispatch, and a bounded in-flight pool sheds overload with
+``429`` + ``Retry-After`` instead of letting the threading server pile
+up handler threads. The ops routes (``/healthz``, ``/alerts``,
+``/metrics``) bypass admission so health probes keep answering while
+the service sheds. With no tenants configured the service runs open
+(anonymous, unlimited rate) exactly as before — only the in-flight
+bound applies.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 import uuid
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Iterable, Iterator
 from urllib.parse import parse_qsl, unquote, urlparse
 
 from repro.ckpt import CheckpointManager, ReplaySession, SessionSnapshot
@@ -71,11 +86,21 @@ from repro.run.results import ResultSet
 from repro.run.runner import MissStreamCache, Runner, annotate_stats
 from repro.run.spec import RunSpec
 from repro.sched.queue import JobQueue
+from repro.service.admission import (
+    AdmissionController,
+    TenantConfig,
+    load_tenant_config,
+)
 from repro.sim.stats import PrefetchRunStats
 from repro.store import ExperimentStore
 
 #: Version stamp on every service response envelope.
 SERVICE_SCHEMA = "repro.service/v1"
+
+#: Upper bound on a POST body. Anything larger is refused with 413
+#: before a byte is read — a bogus ``Content-Length: 1e18`` must not
+#: turn into an allocation.
+MAX_BODY_BYTES = 16 * 1024 * 1024
 
 #: Per-route request accounting. Routes are *normalized* (keys and ids
 #: replaced by ``:key``/``:id`` placeholders) so label cardinality is
@@ -121,6 +146,18 @@ _KNOWN_ROUTES = frozenset(
 #: under ``/streams/<id>/`` is a 404 and must not mint its own label.
 _STREAM_VERBS = frozenset(("advance", "stats"))
 
+#: Routes that bypass admission entirely: health probes and the
+#: metrics scrape must keep answering while the service sheds load —
+#: ``wait_healthy`` is exactly how operators watch a shedding service
+#: recover. (``/metrics`` is served before ``handle()`` but is listed
+#: for completeness.)
+_OPS_ROUTES = frozenset(("/healthz", "/alerts", "/metrics"))
+
+#: Routes reserved for worker-capable tenants: the fleet protocol
+#: hands out other tenants' specs, so a plain (non-worker) token gets
+#: 403 here instead of a cross-tenant view.
+_WORKER_ROUTES = frozenset(("/claim", "/complete", "/heartbeat"))
+
 _LOG = get_logger("service")
 
 
@@ -154,6 +191,150 @@ def _coerce(value: str) -> Any:
     return value
 
 
+class _SessionEntry:
+    """One streaming session's slot in the sharded table.
+
+    ``lock`` serializes everything that mutates *this* session —
+    advance, checkpoint, restore — while other sessions proceed in
+    parallel. ``dead`` marks an entry that has been evicted or
+    discarded after a holder fetched it but before it acquired the
+    lock: the holder must drop it and fetch a fresh entry.
+    """
+
+    __slots__ = ("lock", "session", "spec", "tenant", "touched", "dead")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.session: ReplaySession | None = None
+        self.spec: RunSpec | None = None
+        self.tenant: str | None = None
+        self.touched = time.monotonic()
+        self.dead = False
+
+
+class _SessionShard:
+    __slots__ = ("lock", "entries")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.entries: dict[str, _SessionEntry] = {}
+
+
+class _SessionTable:
+    """Sharded session map with per-session locks.
+
+    Replaces the single service-wide ``_streams_lock`` RLock that
+    serialized every ``/streams`` request: shard locks are held only
+    for dict lookups (microseconds), and the per-entry locks serialize
+    work on one session without blocking any other. Lock ordering
+    rule: a shard lock is never held while *blocking* on an entry lock
+    (eviction uses a non-blocking try-acquire), so the two layers
+    cannot deadlock.
+    """
+
+    def __init__(self, shards: int = 16) -> None:
+        self._shards = [_SessionShard() for _ in range(max(1, shards))]
+        self._stats_lock = threading.Lock()
+        self.restored = 0
+        self.evicted = 0
+
+    def _shard(self, session_id: str) -> _SessionShard:
+        return self._shards[hash(session_id) % len(self._shards)]
+
+    def get_or_create(self, session_id: str) -> _SessionEntry:
+        """The live entry for ``session_id`` (a fresh one if absent/dead)."""
+        shard = self._shard(session_id)
+        with shard.lock:
+            entry = shard.entries.get(session_id)
+            if entry is None or entry.dead:
+                entry = _SessionEntry()
+                shard.entries[session_id] = entry
+            return entry
+
+    def discard(self, session_id: str, entry: _SessionEntry) -> None:
+        """Drop ``entry`` (placeholder cleanup); marks it dead."""
+        shard = self._shard(session_id)
+        with shard.lock:
+            if shard.entries.get(session_id) is entry:
+                del shard.entries[session_id]
+        entry.dead = True
+
+    def __contains__(self, session_id: str) -> bool:
+        shard = self._shard(session_id)
+        with shard.lock:
+            entry = shard.entries.get(session_id)
+            return entry is not None and entry.session is not None
+
+    def clear(self) -> None:
+        """Forget every live session (tests simulate memory loss)."""
+        for shard in self._shards:
+            with shard.lock:
+                for entry in shard.entries.values():
+                    entry.dead = True
+                    entry.session = None
+                shard.entries.clear()
+
+    def note_restored(self) -> None:
+        with self._stats_lock:
+            self.restored += 1
+
+    def evict_idle(self, max_idle_seconds: float) -> int:
+        """Evict sessions idle past the threshold; returns the count.
+
+        Entries busy in another request (entry lock held) are skipped
+        — they are by definition not idle — and a session's persisted
+        checkpoint survives eviction, so the next touch restores it.
+        """
+        if max_idle_seconds <= 0:
+            return 0
+        now = time.monotonic()
+        evicted = 0
+        for shard in self._shards:
+            with shard.lock:
+                stale = [
+                    (session_id, entry)
+                    for session_id, entry in shard.entries.items()
+                    if entry.session is not None
+                    and now - entry.touched > max_idle_seconds
+                ]
+            for session_id, entry in stale:
+                if not entry.lock.acquire(blocking=False):
+                    continue
+                try:
+                    if (
+                        entry.session is not None
+                        and now - entry.touched > max_idle_seconds
+                    ):
+                        with shard.lock:
+                            if shard.entries.get(session_id) is entry:
+                                del shard.entries[session_id]
+                        entry.dead = True
+                        entry.session = None
+                        evicted += 1
+                finally:
+                    entry.lock.release()
+        if evicted:
+            with self._stats_lock:
+                self.evicted += evicted
+        return evicted
+
+    def census(self) -> dict[str, int]:
+        """Live/restored/evicted counts for stats, healthz, gauges."""
+        active = 0
+        for shard in self._shards:
+            with shard.lock:
+                active += sum(
+                    1 for entry in shard.entries.values()
+                    if entry.session is not None
+                )
+        with self._stats_lock:
+            return {
+                "active": active,
+                "restored": self.restored,
+                "evicted": self.evicted,
+            }
+
+
 class ExperimentService:
     """Route table + handlers over one store and one runner.
 
@@ -174,6 +355,10 @@ class ExperimentService:
             watchdog is *constructed* here but only *started* by
             :func:`make_server`, so pure-handler tests stay
             single-threaded and drive ``GET /healthz`` synchronously.
+        admission: the admission controller every non-ops request
+            passes through; defaults to an open-mode controller
+            (anonymous, rate-unlimited, in-flight bounded). Configure
+            tenants for token auth + per-tenant budgets.
 
     When telemetry is enabled, the service owns a
     :class:`~repro.obs.journal.MetricsJournal` at
@@ -191,6 +376,7 @@ class ExperimentService:
         queue: JobQueue | None = None,
         max_idle_seconds: float = 300.0,
         watchdog_interval_seconds: float = 5.0,
+        admission: AdmissionController | None = None,
     ) -> None:
         self.store = store
         self.runner = (
@@ -203,19 +389,23 @@ class ExperimentService:
         )
         self.ckpt = CheckpointManager(store)
         self.max_idle_seconds = max_idle_seconds
-        # One lock serializes all /streams traffic: sessions mutate
-        # under advance, and correctness beats concurrency for a
-        # replay that is deterministic anyway.
-        self._streams_lock = threading.RLock()
-        self._sessions: dict[str, tuple[ReplaySession, RunSpec]] = {}
-        self._session_touched: dict[str, float] = {}
-        self._sessions_restored = 0
-        self._sessions_evicted = 0
+        self.admission = (
+            admission if admission is not None else AdmissionController()
+        )
+        # Sharded session table with per-session locks: sessions mutate
+        # under advance, so each one is serialized by its own entry
+        # lock — but thousands of concurrent streams no longer funnel
+        # through one service-wide lock.
+        self._sessions = _SessionTable()
         # sweep_id -> the submitting request's trace context, so jobs
         # claimed later (a different request, a different worker) can
         # join the sweep's trace. Bounded FIFO; purely observability.
         self._sweep_traces: dict[str, str] = {}
         self._sweep_traces_max = 256
+        # sweep_id -> submitting tenant, for sweep-route scoping. Same
+        # bounded-FIFO lifetime as the trace map; ownership of sweeps
+        # submitted before a restart is forgotten with the process.
+        self._sweep_owners: dict[str, str | None] = {}
         self.journal: MetricsJournal | None = None
         self.engine: RuleEngine | None = None
         self.watchdog: HealthWatchdog | None = None
@@ -250,20 +440,25 @@ class ExperimentService:
         query: dict[str, str] | None = None,
         body: dict | None = None,
         trace_parent: str | None = None,
+        authorization: str | None = None,
     ) -> tuple[int, dict]:
         """Dispatch one request; never raises — errors become payloads.
 
         ``trace_parent`` is the caller's ``X-Repro-Trace`` context (if
         any): the request span — and everything the handler does under
         it, replays and store writes included — joins the caller's
-        trace instead of starting a fresh one.
+        trace instead of starting a fresh one. ``authorization`` is
+        the raw ``Authorization`` header, resolved to a tenant by the
+        admission controller before any route runs.
         """
         query = query or {}
         route = _route_label(path)
         began = time.perf_counter()
         with bind_context(trace_parent):
             with trace("http.request", method=method, route=route) as span:
-                status, payload = self._dispatch(method, path, query, body)
+                status, payload = self._admit(
+                    method, path, query, body, authorization
+                )
                 span.attrs["status"] = status
         _OBS_HTTP_REQUESTS.inc(method=method, route=route, status=str(status))
         _OBS_HTTP_SECONDS.observe(
@@ -271,12 +466,71 @@ class ExperimentService:
         )
         return status, payload
 
+    def _admit(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str],
+        body: dict | None,
+        authorization: str | None,
+    ) -> tuple[int, dict]:
+        """Admission gauntlet: auth → capability → rate → slot → route.
+
+        A 429 from any stage carries ``retry_after`` (seconds) in the
+        payload, which the HTTP layer mirrors into a ``Retry-After``
+        header. A shed or limited request never reaches a handler, so
+        shedding is cheap by construction.
+        """
+        if path in _OPS_ROUTES:
+            # Ops routes skip admission entirely — and run with admin
+            # (tenant-unscoped) visibility, which they don't use.
+            return self._dispatch(method, path, query, body, None)
+        tenant, auth_error = self.admission.authenticate(authorization)
+        if auth_error is not None:
+            return 401, self._envelope({"error": auth_error})
+        if (
+            tenant is not None
+            and path in _WORKER_ROUTES
+            and not tenant.worker
+        ):
+            self.admission.note(tenant.name, "forbidden")
+            return 403, self._envelope(
+                {
+                    "error": f"tenant {tenant.name!r} is not worker-capable; "
+                    f"{path} requires a worker token"
+                }
+            )
+        wait = self.admission.check_rate(tenant)
+        if wait > 0.0:
+            return 429, self._envelope(
+                {
+                    "error": "request rate limit exceeded",
+                    "retry_after": round(wait, 3),
+                }
+            )
+        shed = self.admission.try_enter(tenant)
+        if shed is not None:
+            return 429, self._envelope(
+                {
+                    "error": "service at capacity, request shed",
+                    "retry_after": round(shed, 3),
+                }
+            )
+        try:
+            self.admission.note(
+                tenant.name if tenant is not None else None, "admitted"
+            )
+            return self._dispatch(method, path, query, body, tenant)
+        finally:
+            self.admission.leave()
+
     def _dispatch(
         self,
         method: str,
         path: str,
         query: dict[str, str],
         body: dict | None,
+        tenant: TenantConfig | None = None,
     ) -> tuple[int, dict]:
         try:
             if method == "GET" and path == "/stats":
@@ -286,35 +540,39 @@ class ExperimentService:
             if method == "GET" and path == "/alerts":
                 return self._get_alerts()
             if method == "GET" and path == "/results":
-                return self._get_results(query)
+                return self._get_results(query, tenant)
             if method == "GET" and path == "/progress":
-                return self._get_progress(query)
+                return self._get_progress(query, tenant)
             if method == "GET" and path.startswith("/runs/"):
-                return self._get_run(path[len("/runs/"):])
+                return self._get_run(path[len("/runs/"):], tenant)
             if method == "GET" and path.startswith("/jobs/"):
-                return self._get_job(path[len("/jobs/"):])
+                return self._get_job(path[len("/jobs/"):], tenant)
             if method == "GET" and path.startswith("/streams/"):
                 session_id, _, verb = path[len("/streams/"):].partition("/")
                 if verb == "stats":
-                    return self._get_stream_stats(unquote(session_id))
+                    return self._get_stream_stats(unquote(session_id), tenant)
                 return 404, self._envelope(
                     {"error": f"unknown route {method} {path}"}
                 )
             if method == "POST" and path == "/streams":
-                return self._post_streams(body if body is not None else {})
+                return self._post_streams(
+                    body if body is not None else {}, tenant
+                )
             if method == "POST" and path.startswith("/streams/"):
                 session_id, _, verb = path[len("/streams/"):].partition("/")
                 if verb == "advance":
                     return self._post_stream_advance(
-                        unquote(session_id), body if body is not None else {}
+                        unquote(session_id),
+                        body if body is not None else {},
+                        tenant,
                     )
                 return 404, self._envelope(
                     {"error": f"unknown route {method} {path}"}
                 )
             if method == "POST" and path == "/runs":
-                return self._post_runs(body if body is not None else {})
+                return self._post_runs(body if body is not None else {}, tenant)
             if method == "POST" and path == "/jobs":
-                return self._post_jobs(body if body is not None else {})
+                return self._post_jobs(body if body is not None else {}, tenant)
             if method == "POST" and path == "/claim":
                 return self._post_claim(body if body is not None else {})
             if method == "POST" and path == "/complete":
@@ -322,7 +580,7 @@ class ExperimentService:
             if method == "POST" and path == "/heartbeat":
                 return self._post_heartbeat(body if body is not None else {})
             if method == "POST" and path == "/cancel":
-                return self._post_cancel(body if body is not None else {})
+                return self._post_cancel(body if body is not None else {}, tenant)
             if method == "POST" and path == "/trace":
                 return self._post_trace(body if body is not None else {})
             if method == "GET" and path == "/trace":
@@ -350,18 +608,13 @@ class ExperimentService:
     # -- routes ------------------------------------------------------------
 
     def _get_stats(self) -> tuple[int, dict]:
-        with self._streams_lock:
-            streams = {
-                "active": len(self._sessions),
-                "restored": self._sessions_restored,
-                "evicted": self._sessions_evicted,
-            }
         return 200, self._envelope(
             {
                 "store": self.store.stats(),
                 "stream_cache": self.runner.cache.stats(),
                 "queue": self.queue.stats(),
-                "streams": streams,
+                "streams": self._sessions.census(),
+                "admission": self.admission.census(),
                 "metrics": self._metrics_summary(),
             }
         )
@@ -402,10 +655,10 @@ class ExperimentService:
             _OBS_STORE_ENTRIES.set(store_stats[f"{kind}_entries"], kind=kind)
         _OBS_STORE_BYTES.set(store_stats["total_bytes"])
         _OBS_CACHE_ENTRIES.set(self.runner.cache.stats()["entries"])
-        with self._streams_lock:
-            _OBS_SESSIONS.set(len(self._sessions), state="active")
-            _OBS_SESSIONS.set(self._sessions_restored, state="restored")
-            _OBS_SESSIONS.set(self._sessions_evicted, state="evicted")
+        sessions = self._sessions.census()
+        for state in ("active", "restored", "evicted"):
+            _OBS_SESSIONS.set(sessions[state], state=state)
+        self.admission.refresh_gauges()
 
     def scrape_metrics(self) -> str:
         """Prometheus text for ``GET /metrics`` (gauges refreshed first)."""
@@ -437,14 +690,8 @@ class ExperimentService:
         if self.watchdog is not None and not self.watchdog.running:
             self.watchdog.tick()
         slo = self.queue.slo_snapshot()
-        with self._streams_lock:
-            sessions = {
-                "active": len(self._sessions),
-                "restored": self._sessions_restored,
-                "evicted": self._sessions_evicted,
-            }
         report = component_health(
-            self._store_writable(), slo, sessions, self.engine
+            self._store_writable(), slo, self._sessions.census(), self.engine
         )
         return (200 if report["status"] == "ok" else 503), self._envelope(report)
 
@@ -464,9 +711,17 @@ class ExperimentService:
             }
         )
 
-    def _get_run(self, key: str) -> tuple[int, dict]:
+    def _get_run(
+        self, key: str, tenant: TenantConfig | None = None
+    ) -> tuple[int, dict]:
         if not key or "/" in key:
             return 400, self._envelope({"error": f"malformed run key {key!r}"})
+        if tenant is not None and not self.store.is_granted(
+            tenant.name, "result", key
+        ):
+            # Same answer as a missing key: a tenant cannot probe for
+            # the existence of other tenants' results.
+            return 404, self._envelope({"error": f"no stored run for key {key!r}"})
         stats = self.store.get_result(key)
         if stats is None:
             return 404, self._envelope({"error": f"no stored run for key {key!r}"})
@@ -474,7 +729,9 @@ class ExperimentService:
             {"key": key, "run": json.loads(ResultSet([stats]).to_json())["runs"][0]}
         )
 
-    def _get_results(self, query: dict[str, str]) -> tuple[int, dict]:
+    def _get_results(
+        self, query: dict[str, str], tenant: TenantConfig | None = None
+    ) -> tuple[int, dict]:
         query = dict(query)
         page = {}
         for name, default in (("limit", None), ("offset", 0)):
@@ -489,7 +746,29 @@ class ExperimentService:
                 )
             page[name] = value
         filters = {name: _coerce(value) for name, value in query.items()}
-        if filters:
+        if tenant is not None:
+            # Tenant-scoped view: only granted keys, filtered and paged
+            # in memory (the grant set is the tenant's working set, not
+            # the whole store).
+            granted = self.store.granted_keys(tenant.name, "result")
+            results = ResultSet(
+                [
+                    row
+                    for row in self.store.load_results()
+                    if row.extra.get("spec_key") in granted
+                ]
+            )
+            if filters:
+                try:
+                    results = results.filter(**filters)
+                except KeyError as exc:
+                    return 400, self._envelope({"error": str(exc)})
+            total = len(results)
+            if page["offset"]:
+                results = results[page["offset"]:]
+            if page["limit"] is not None:
+                results = results[:page["limit"]]
+        elif filters:
             # Filters need every row in memory; page *after* filtering
             # so offset/limit walk the filtered set.
             try:
@@ -515,7 +794,9 @@ class ExperimentService:
         payload.update(page)
         return 200, self._envelope(payload)
 
-    def _post_runs(self, body: dict) -> tuple[int, dict]:
+    def _post_runs(
+        self, body: dict, tenant: TenantConfig | None = None
+    ) -> tuple[int, dict]:
         if not isinstance(body, dict):
             return 400, self._envelope(
                 {"error": f"request body must be an object, got {type(body).__name__}"}
@@ -536,6 +817,18 @@ class ExperimentService:
             # Covers ConfigurationError plus raw type mistakes (e.g. a
             # string scale) the dataclass validators trip over.
             return 400, self._envelope({"error": str(exc)})
+        # Sweep cost is charged *before* dispatch: one request, N specs
+        # of work. Nothing has executed yet, so a 429 here is free to
+        # retry once the budget refills.
+        cost_wait = self.admission.charge_cost(tenant, len(specs))
+        if cost_wait > 0.0:
+            return 429, self._envelope(
+                {
+                    "error": f"sweep cost budget exhausted "
+                    f"({len(specs)} specs requested)",
+                    "retry_after": round(cost_wait, 3),
+                }
+            )
         runner = self.runner
         if workers > 1:
             runner = Runner(workers=workers, cache=self.runner.cache, store=self.store)
@@ -547,6 +840,10 @@ class ExperimentService:
         unique_keys = list(dict.fromkeys(spec.key() for spec in specs))
         hits = sum(1 for key in unique_keys if self.store.has_result(key))
         results = runner.run(specs)
+        if tenant is not None:
+            # Visibility grant, not a copy: the artifacts stay shared
+            # and content-addressed across tenants.
+            self.store.grant(tenant.name, "result", unique_keys)
         payload = json.loads(results.to_json())
         payload.update(
             {
@@ -561,13 +858,18 @@ class ExperimentService:
     # -- streaming routes --------------------------------------------------
 
     def _checkpoint_session(
-        self, session_id: str, spec: RunSpec, session: ReplaySession
+        self,
+        session_id: str,
+        spec: RunSpec,
+        session: ReplaySession,
+        tenant: str | None = None,
     ) -> str:
         """Persist the session's snapshot and descriptor; returns the digest.
 
         Blob first, record second: a crash between the writes leaves at
         worst an orphan blob, never a record pointing at nothing newer
-        than the previous checkpoint.
+        than the previous checkpoint. The owning tenant rides in the
+        descriptor record, so scoping survives eviction and restarts.
         """
         digest = self.ckpt.save(session.snapshot())
         self.ckpt.save_session(
@@ -577,39 +879,20 @@ class ExperimentService:
                 "spec_key": spec.key(),
                 "stream_offset": session.offset,
                 "state_digest": digest,
+                "tenant": tenant,
             },
         )
         return digest
 
-    def _evict_idle_sessions(self) -> None:
-        """Drop sessions untouched past ``max_idle_seconds`` from memory.
+    def _restore_into(
+        self, session_id: str, entry: _SessionEntry
+    ) -> tuple[int, dict] | None:
+        """Restore a persisted session into ``entry`` (lock held).
 
-        Eviction only forgets the live object — the persisted
-        checkpoint stays in the store, so the next touch restores the
-        session exactly where it paused.
+        Returns ``None`` on success, or the ``(status, payload)`` error
+        pair when the id is unknown (404) or its checkpoint blob has
+        been garbage-collected (410).
         """
-        if self.max_idle_seconds <= 0:
-            return
-        now = time.monotonic()
-        for session_id, touched in list(self._session_touched.items()):
-            if now - touched > self.max_idle_seconds:
-                self._sessions.pop(session_id, None)
-                del self._session_touched[session_id]
-                self._sessions_evicted += 1
-
-    def _resolve_session(
-        self, session_id: str
-    ) -> tuple[ReplaySession, RunSpec] | tuple[int, dict]:
-        """The live session for ``session_id``, restored if necessary.
-
-        Returns the usual ``(status, payload)`` error pair when the id
-        is unknown or its checkpoint blob has been garbage-collected;
-        callers tell the cases apart by the first element's type.
-        """
-        entry = self._sessions.get(session_id)
-        if entry is not None:
-            self._session_touched[session_id] = time.monotonic()
-            return entry
         record = self.ckpt.load_session(session_id)
         if record is None:
             return 404, self._envelope(
@@ -641,13 +924,56 @@ class ExperimentService:
             raise CkptError(
                 f"corrupt session record {session_id!r}: {error}"
             ) from error
-        session = ReplaySession.resume(
+        entry.session = ReplaySession.resume(
             snap, self.runner.miss_stream_for(spec), spec.build_prefetcher()
         )
-        self._sessions[session_id] = (session, spec)
-        self._session_touched[session_id] = time.monotonic()
-        self._sessions_restored += 1
-        return session, spec
+        entry.spec = spec
+        entry.tenant = record.get("tenant")
+        entry.touched = time.monotonic()
+        self._sessions.note_restored()
+        return None
+
+    @contextmanager
+    def _locked_session(
+        self, session_id: str, tenant: TenantConfig | None
+    ) -> Iterator[tuple[_SessionEntry | None, tuple[int, dict] | None]]:
+        """Yield ``(entry, error)`` with the entry's lock held.
+
+        Exactly one of the pair is non-``None``. The lock is held for
+        the caller's whole body, so an advance-and-checkpoint is atomic
+        per session while other sessions run in parallel. An entry
+        evicted between lookup and lock acquisition is detected by its
+        ``dead`` flag and simply re-fetched (the restore path then
+        brings it back from its checkpoint).
+        """
+        while True:
+            entry = self._sessions.get_or_create(session_id)
+            with entry.lock:
+                if entry.dead:
+                    continue
+                if entry.session is None:
+                    try:
+                        error = self._restore_into(session_id, entry)
+                    except BaseException:
+                        self._sessions.discard(session_id, entry)
+                        raise
+                    if error is not None:
+                        self._sessions.discard(session_id, entry)
+                        yield None, error
+                        return
+                if tenant is not None and entry.tenant != tenant.name:
+                    # Indistinguishable from a missing session: tenants
+                    # cannot probe for each other's session ids.
+                    yield None, (
+                        404,
+                        self._envelope(
+                            {"error": f"no streaming session {session_id!r}"}
+                        ),
+                    )
+                    return
+                entry.touched = time.monotonic()
+                yield entry, None
+                return
 
     def _session_payload(
         self,
@@ -670,7 +996,9 @@ class ExperimentService:
             }
         )
 
-    def _post_streams(self, body: dict) -> tuple[int, dict]:
+    def _post_streams(
+        self, body: dict, tenant: TenantConfig | None = None
+    ) -> tuple[int, dict]:
         """Open a suspendable streaming session for one spec."""
         if not isinstance(body, dict):
             return 400, self._envelope(
@@ -692,30 +1020,51 @@ class ExperimentService:
             return 400, self._envelope(
                 {"error": f"malformed session id {session_id!r}"}
             )
-        with self._streams_lock:
-            self._evict_idle_sessions()
-            if (
-                session_id in self._sessions
-                or self.ckpt.load_session(session_id) is not None
-            ):
-                return 409, self._envelope(
-                    {"error": f"streaming session {session_id!r} already exists"}
+        self._sessions.evict_idle(self.max_idle_seconds)
+        while True:
+            entry = self._sessions.get_or_create(session_id)
+            with entry.lock:
+                if entry.dead:
+                    continue
+                try:
+                    if (
+                        entry.session is not None
+                        or self.ckpt.load_session(session_id) is not None
+                    ):
+                        # A 409 must not leave a fresh placeholder behind:
+                        # later opens would mistake it for a live session.
+                        if entry.session is None:
+                            self._sessions.discard(session_id, entry)
+                        return 409, self._envelope(
+                            {
+                                "error": f"streaming session {session_id!r} "
+                                "already exists"
+                            }
+                        )
+                    session = ReplaySession(
+                        self.runner.miss_stream_for(spec),
+                        spec.build_prefetcher(),
+                        buffer_entries=spec.buffer_entries,
+                        max_prefetches_per_miss=spec.max_prefetches_per_miss,
+                    )
+                    owner = tenant.name if tenant is not None else None
+                    digest = self._checkpoint_session(
+                        session_id, spec, session, owner
+                    )
+                    entry.session = session
+                    entry.spec = spec
+                    entry.tenant = owner
+                    entry.touched = time.monotonic()
+                except BaseException:
+                    if entry.session is None:
+                        self._sessions.discard(session_id, entry)
+                    raise
+                return 200, self._session_payload(
+                    session_id, session, spec, state_digest=digest
                 )
-            session = ReplaySession(
-                self.runner.miss_stream_for(spec),
-                spec.build_prefetcher(),
-                buffer_entries=spec.buffer_entries,
-                max_prefetches_per_miss=spec.max_prefetches_per_miss,
-            )
-            self._sessions[session_id] = (session, spec)
-            self._session_touched[session_id] = time.monotonic()
-            digest = self._checkpoint_session(session_id, spec, session)
-            return 200, self._session_payload(
-                session_id, session, spec, state_digest=digest
-            )
 
     def _post_stream_advance(
-        self, session_id: str, body: dict
+        self, session_id: str, body: dict, tenant: TenantConfig | None = None
     ) -> tuple[int, dict]:
         """Replay the next chunk of a session, then checkpoint it."""
         if not isinstance(body, dict):
@@ -732,30 +1081,32 @@ class ExperimentService:
                     f"null, got {count!r}"
                 }
             )
-        with self._streams_lock:
-            self._evict_idle_sessions()
-            resolved = self._resolve_session(session_id)
-            if isinstance(resolved[0], int):
-                return resolved
-            session, spec = resolved
-            advanced = session.advance(count)
-            digest = self._checkpoint_session(session_id, spec, session)
+        self._sessions.evict_idle(self.max_idle_seconds)
+        with self._locked_session(session_id, tenant) as (entry, error):
+            if error is not None:
+                return error
+            advanced = entry.session.advance(count)
+            digest = self._checkpoint_session(
+                session_id, entry.spec, entry.session, entry.tenant
+            )
             return 200, self._session_payload(
                 session_id,
-                session,
-                spec,
+                entry.session,
+                entry.spec,
                 advanced=advanced,
                 state_digest=digest,
             )
 
-    def _get_stream_stats(self, session_id: str) -> tuple[int, dict]:
+    def _get_stream_stats(
+        self, session_id: str, tenant: TenantConfig | None = None
+    ) -> tuple[int, dict]:
         """Progress and statistics-so-far; restores an evicted session."""
-        with self._streams_lock:
-            resolved = self._resolve_session(session_id)
-            if isinstance(resolved[0], int):
-                return resolved
-            session, spec = resolved
-            return 200, self._session_payload(session_id, session, spec)
+        with self._locked_session(session_id, tenant) as (entry, error):
+            if error is not None:
+                return error
+            return 200, self._session_payload(
+                session_id, entry.session, entry.spec
+            )
 
     # -- scheduler routes --------------------------------------------------
 
@@ -769,7 +1120,9 @@ class ExperimentService:
         except (TypeError, ValueError) as exc:
             return 400, {"error": str(exc)}
 
-    def _post_jobs(self, body: dict) -> tuple[int, dict]:
+    def _post_jobs(
+        self, body: dict, tenant: TenantConfig | None = None
+    ) -> tuple[int, dict]:
         """Enqueue a sweep; store-known specs are precompleted on the spot."""
         if not isinstance(body, dict):
             return 400, self._envelope(
@@ -791,6 +1144,15 @@ class ExperimentService:
             return 400, self._envelope(
                 {"error": f"'max_attempts' must be a positive integer, got {max_attempts!r}"}
             )
+        cost_wait = self.admission.charge_cost(tenant, len(specs))
+        if cost_wait > 0:
+            return 429, self._envelope(
+                {
+                    "error": "sweep cost budget exhausted "
+                    f"({len(specs)} specs requested)",
+                    "retry_after": round(cost_wait, 3),
+                }
+            )
         # Remember the submitting request's trace context so claims of
         # this sweep's jobs can hand it to workers (one connected trace
         # per sweep across client, service, and the whole fleet).
@@ -799,6 +1161,13 @@ class ExperimentService:
             self._sweep_traces[sweep_id] = sweep_ctx
             while len(self._sweep_traces) > self._sweep_traces_max:
                 self._sweep_traces.pop(next(iter(self._sweep_traces)))
+        # Sweep ownership gates /jobs, /cancel, and per-sweep /progress
+        # to the submitting tenant. In-memory like the trace map: a
+        # restart forgets owners, which fails open for admins only
+        # (tenants then see 404, never another tenant's sweep).
+        self._sweep_owners[sweep_id] = tenant.name if tenant else None
+        while len(self._sweep_owners) > self._sweep_traces_max:
+            self._sweep_owners.pop(next(iter(self._sweep_owners)))
         keys = [spec.key() for spec in specs]
         stored = {key for key in set(keys) if self.store.has_result(key)}
         jobs = self.queue.submit(
@@ -807,6 +1176,10 @@ class ExperimentService:
             precompleted=stored,
             max_attempts=max_attempts,
         )
+        if tenant is not None:
+            # Granted at submission, not completion: the submitting
+            # tenant may read the rows the moment workers land them.
+            self.store.grant(tenant.name, "result", list(dict.fromkeys(keys)))
         counts: dict[str, int] = {}
         for job in jobs:
             counts[job["state"]] = counts.get(job["state"], 0) + 1
@@ -948,12 +1321,16 @@ class ExperimentService:
         beat = self.queue.heartbeat(worker_id, job_ids, lease_seconds=lease)
         return 200, self._envelope(beat)
 
-    def _post_cancel(self, body: dict) -> tuple[int, dict]:
+    def _post_cancel(
+        self, body: dict, tenant: TenantConfig | None = None
+    ) -> tuple[int, dict]:
         sweep_id = body.get("sweep_id")
         if not isinstance(sweep_id, str) or not sweep_id:
             return 400, self._envelope(
                 {"error": f"'sweep_id' must be a non-empty string, got {sweep_id!r}"}
             )
+        if not self._owns_sweep(tenant, sweep_id):
+            return 404, self._envelope({"error": f"no sweep {sweep_id!r}"})
         cancelled = self.queue.cancel(sweep_id)
         return 200, self._envelope({"sweep_id": sweep_id, "cancelled": cancelled})
 
@@ -981,7 +1358,17 @@ class ExperimentService:
             )
         return 200, self._envelope({"traces": COLLECTOR.traces()})
 
-    def _get_job(self, job_id: str) -> tuple[int, dict]:
+    def _owns_sweep(
+        self, tenant: TenantConfig | None, sweep_id: str
+    ) -> bool:
+        """Whether ``tenant`` may act on ``sweep_id`` (admins always may)."""
+        if tenant is None:
+            return True
+        return self._sweep_owners.get(sweep_id) == tenant.name
+
+    def _get_job(
+        self, job_id: str, tenant: TenantConfig | None = None
+    ) -> tuple[int, dict]:
         if not job_id or "/" in job_id:
             return 400, self._envelope({"error": f"malformed job id {job_id!r}"})
         # Clients percent-encode the path segment (job ids embed the
@@ -990,10 +1377,21 @@ class ExperimentService:
         job = self.queue.job(job_id)
         if job is None:
             return 404, self._envelope({"error": f"no job {job_id!r}"})
+        if not self._owns_sweep(tenant, job["sweep_id"]):
+            # Same message as the missing case: job ids embed sweep ids,
+            # so a 403 would leak which sweeps exist.
+            return 404, self._envelope({"error": f"no job {job_id!r}"})
         return 200, self._envelope({"job": job})
 
-    def _get_progress(self, query: dict[str, str]) -> tuple[int, dict]:
-        return 200, self._envelope(self.queue.progress(query.get("sweep_id")))
+    def _get_progress(
+        self, query: dict[str, str], tenant: TenantConfig | None = None
+    ) -> tuple[int, dict]:
+        sweep_id = query.get("sweep_id")
+        # Per-sweep progress is owner-only; the unscoped aggregate is
+        # open to every tenant (counts only, no spec material).
+        if sweep_id and not self._owns_sweep(tenant, sweep_id):
+            return 404, self._envelope({"error": f"no sweep {sweep_id!r}"})
+        return 200, self._envelope(self.queue.progress(sweep_id))
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -1003,6 +1401,11 @@ class _RequestHandler(BaseHTTPRequestHandler):
         data = json.dumps(payload, sort_keys=True).encode() + b"\n"
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        retry_after = payload.get("retry_after")
+        if retry_after is not None:
+            # The header is integer seconds per RFC 9110; the payload
+            # keeps the precise float for clients that parse JSON.
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
@@ -1044,14 +1447,58 @@ class _RequestHandler(BaseHTTPRequestHandler):
             parsed.path,
             dict(parse_qsl(parsed.query)),
             trace_parent=self.headers.get(TRACE_HEADER),
+            authorization=self.headers.get("Authorization"),
         )
         self._respond(status, payload)
         self._access_log("GET", status, began)
 
+    def _read_body(self, began: float) -> bytes | None:
+        """The request body, or ``None`` after responding with an error.
+
+        Hardened against hostile framing: a malformed or negative
+        ``Content-Length`` is a 400 and an oversized one a 413, both
+        before reading a single body byte. The connection is closed on
+        these paths — the unread body would otherwise be parsed as the
+        next request on the keep-alive socket.
+        """
+        raw_length = self.headers.get("Content-Length")
+        length: int | None
+        try:
+            length = int(raw_length) if raw_length is not None else 0
+        except ValueError:
+            length = None
+        if length is None or length < 0:
+            self.close_connection = True
+            self._respond(
+                400,
+                {
+                    "schema": SERVICE_SCHEMA,
+                    "error": f"malformed Content-Length header {raw_length!r}",
+                },
+            )
+            self._access_log("POST", 400, began)
+            return None
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True
+            self._respond(
+                413,
+                {
+                    "schema": SERVICE_SCHEMA,
+                    "error": (
+                        f"request body of {length} bytes exceeds the "
+                        f"{MAX_BODY_BYTES} byte cap"
+                    ),
+                },
+            )
+            self._access_log("POST", 413, began)
+            return None
+        return self.rfile.read(length)
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         began = time.perf_counter()
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length)
+        raw = self._read_body(began)
+        if raw is None:
+            return
         try:
             body = json.loads(raw) if raw else {}
         except json.JSONDecodeError as exc:
@@ -1068,6 +1515,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
             dict(parse_qsl(parsed.query)),
             body,
             trace_parent=self.headers.get(TRACE_HEADER),
+            authorization=self.headers.get("Authorization"),
         )
         self._respond(status, payload)
         self._access_log("POST", status, began)
@@ -1083,6 +1531,10 @@ class ExperimentServer(ThreadingHTTPServer):
     """Threading HTTP server bound to one :class:`ExperimentService`."""
 
     daemon_threads = True
+    # The stdlib default listen backlog (5) resets connections under
+    # concurrent load before admission control ever sees them; shedding
+    # decisions belong to the AdmissionController, not the kernel.
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -1115,21 +1567,37 @@ def make_server(
     verbose: bool = False,
     max_idle_seconds: float = 300.0,
     watchdog_interval_seconds: float = 5.0,
+    tenants: Iterable[TenantConfig] | None = None,
+    max_inflight: int = 64,
+    max_queue: int = 256,
+    admission: AdmissionController | None = None,
 ) -> ExperimentServer:
     """Build a ready-to-run server (``port=0`` picks a free port).
 
     The health watchdog starts here (when telemetry is enabled): a
     served store journals its metrics and evaluates SLO rules on the
     ``watchdog_interval_seconds`` cadence until ``server_close()``.
+
+    With no ``tenants`` the service runs open (anonymous, unmetered
+    rates) but still sheds load past ``max_inflight`` + ``max_queue``.
+    Pass a prebuilt ``admission`` controller to tune the queue-wait
+    and shed hints; it overrides the other three knobs.
     """
     if not isinstance(store, ExperimentStore):
         store = ExperimentStore(store)
     runner = Runner(workers=workers, cache=MissStreamCache(), store=store)
+    if admission is None:
+        admission = AdmissionController(
+            tenants=tuple(tenants or ()),
+            max_inflight=max_inflight,
+            max_queue=max_queue,
+        )
     service = ExperimentService(
         store,
         runner,
         max_idle_seconds=max_idle_seconds,
         watchdog_interval_seconds=watchdog_interval_seconds,
+        admission=admission,
     )
     if service.watchdog is not None:
         service.watchdog.start()
@@ -1142,12 +1610,24 @@ def serve(
     port: int = 8321,
     workers: int = 0,
     verbose: bool = False,
+    max_inflight: int = 64,
+    tenant_config: str | None = None,
 ) -> int:
     """Blocking CLI entry point: print the address and serve forever."""
-    server = make_server(store, host=host, port=port, workers=workers, verbose=verbose)
+    tenants = load_tenant_config(tenant_config) if tenant_config else ()
+    server = make_server(
+        store,
+        host=host,
+        port=port,
+        workers=workers,
+        verbose=verbose,
+        tenants=tenants,
+        max_inflight=max_inflight,
+    )
+    mode = f"{len(tenants)} tenants" if tenants else "open access"
     print(
         f"repro-tlb service on {server.url} "
-        f"(store: {server.service.store.root}, workers: {workers})",
+        f"(store: {server.service.store.root}, workers: {workers}, {mode})",
         flush=True,
     )
     try:

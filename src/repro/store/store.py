@@ -201,6 +201,20 @@ class ExperimentStore:
                     "CREATE TABLE IF NOT EXISTS counters "
                     "(name TEXT PRIMARY KEY, value INTEGER NOT NULL)"
                 )
+                # Tenant visibility grants (multi-tenant service). This
+                # is a *lazy migration*: artifacts stay shared and
+                # content-addressed (dedup and byte-identity untouched);
+                # the table only records which tenant namespaces may
+                # *see* which keys. Pre-tenant stores gain the empty
+                # table on their next open — no version bump needed,
+                # because absent rows simply mean "no grants yet".
+                self._db.execute(
+                    "CREATE TABLE IF NOT EXISTS tenant_keys ("
+                    " tenant TEXT NOT NULL,"
+                    " kind TEXT NOT NULL,"
+                    " key TEXT NOT NULL,"
+                    " PRIMARY KEY (tenant, kind, key))"
+                )
                 seq = self._db.execute(
                     "SELECT value FROM counters WHERE name='access_seq'"
                 ).fetchone()
@@ -706,6 +720,54 @@ class ExperimentStore:
                 "SELECT key FROM entries WHERE kind=? ORDER BY key ASC", (_CKPT,)
             ).fetchall()
         return [key for (key,) in rows if key.startswith(prefix)]
+
+    # -- tenant visibility grants ------------------------------------------
+
+    def grant(self, tenant: str, kind: str, keys: Iterable[str]) -> None:
+        """Make ``keys`` of ``kind`` visible to ``tenant``.
+
+        Grants are an ACL over the shared content-addressed artifacts,
+        not copies: two tenants submitting the same spec share one
+        stored row and each holds a grant to it. Granting an existing
+        pair is a no-op (idempotent, like the artifact writes).
+        """
+        if not tenant:
+            raise StoreError("tenant must be a non-empty string")
+        if kind not in _KINDS:
+            raise StoreError(f"unknown entry kind {kind!r}; expected {_KINDS}")
+        rows = [(tenant, kind, key) for key in keys]
+        if not rows:
+            return
+        with self._lock:
+            self._db.execute("BEGIN IMMEDIATE")
+            try:
+                self._db.executemany(
+                    "INSERT OR IGNORE INTO tenant_keys (tenant, kind, key) "
+                    "VALUES (?, ?, ?)",
+                    rows,
+                )
+                self._db.execute("COMMIT")
+            except BaseException:
+                self._db.execute("ROLLBACK")
+                raise
+
+    def is_granted(self, tenant: str, kind: str, key: str) -> bool:
+        """Whether ``tenant`` may see ``kind``/``key``."""
+        with self._lock:
+            row = self._db.execute(
+                "SELECT 1 FROM tenant_keys WHERE tenant=? AND kind=? AND key=?",
+                (tenant, kind, key),
+            ).fetchone()
+        return row is not None
+
+    def granted_keys(self, tenant: str, kind: str) -> set[str]:
+        """Every ``kind`` key visible to ``tenant``."""
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT key FROM tenant_keys WHERE tenant=? AND kind=?",
+                (tenant, kind),
+            ).fetchall()
+        return {key for (key,) in rows}
 
     # -- introspection -----------------------------------------------------
 

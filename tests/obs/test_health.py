@@ -190,9 +190,10 @@ class TestRuleEngine:
         # alerts() is a read: the breach is still on record.
         assert engine.alerts()[0]["state"] == "firing"
 
-    def test_default_rules_cover_the_five_slos(self):
+    def test_default_rules_cover_the_six_slos(self):
         rules = default_rules()
         assert sorted(rule.name for rule in rules) == [
+            "admission_shed_rate",
             "queue_oldest_claimable_age",
             "service_error_ratio",
             "service_p99_latency",
@@ -200,7 +201,7 @@ class TestRuleEngine:
             "worker_heartbeat_stale",
         ]
         assert {rule.component for rule in rules} == {
-            "service", "queue", "workers", "sessions",
+            "service", "queue", "workers", "sessions", "admission",
         }
 
 

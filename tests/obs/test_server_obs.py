@@ -332,6 +332,7 @@ class TestHealthOverHTTP:
             "worker_heartbeat_stale",
             "service_error_ratio",
             "stream_sessions_idle_pileup",
+            "admission_shed_rate",
         }
 
     def test_firing_alerts_appear_in_the_metrics_scrape(self, server, client):

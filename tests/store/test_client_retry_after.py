@@ -1,0 +1,138 @@
+"""ServiceClient Retry-After handling against a scripted stub server.
+
+The stub answers from a canned queue of (status, headers, payload)
+responses, so the tests pin down exactly which errors the client
+retries (429/503 **with** a hint), which it surfaces immediately (a
+degraded-healthz 503 without one), and what it records while doing so.
+"""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError
+from repro.service.client import _OBS_RETRIES
+
+
+class _StubHandler(BaseHTTPRequestHandler):
+    def do_GET(self):  # noqa: N802 - http.server API
+        script = self.server.script
+        status, headers, payload = (
+            script.pop(0) if script else (200, {}, {"ok": True})
+        )
+        data = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, format, *args):
+        pass
+
+
+@pytest.fixture
+def stub():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _StubHandler)
+    server.script = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def _client(stub, **kwargs):
+    host, port = stub.server_address[:2]
+    return ServiceClient(f"http://{host}:{port}", **kwargs)
+
+
+class TestRetryAfterHonored:
+    def test_429_with_hint_is_retried_until_success(self, stub):
+        stub.script = [
+            (429, {}, {"error": "shed", "retry_after": 0.01}),
+            (429, {}, {"error": "shed", "retry_after": 0.01}),
+            (200, {}, {"ok": True}),
+        ]
+        client = _client(stub, max_retries=3)
+        before = _OBS_RETRIES.value(cause="http_429")
+        assert client.request("/stats") == {"ok": True}
+        assert client.retries == 2
+        assert client.backoff_seconds == pytest.approx(0.02)
+        assert _OBS_RETRIES.value(cause="http_429") == before + 2
+
+    def test_503_with_hint_is_retried(self, stub):
+        stub.script = [
+            (503, {}, {"error": "busy", "retry_after": 0.01}),
+            (200, {}, {"ok": True}),
+        ]
+        client = _client(stub)
+        before = _OBS_RETRIES.value(cause="http_503")
+        assert client.request("/stats") == {"ok": True}
+        assert _OBS_RETRIES.value(cause="http_503") == before + 1
+
+    def test_header_hint_is_used_when_payload_has_none(self, stub):
+        stub.script = [
+            (429, {"Retry-After": "0"}, {"error": "shed"}),
+            (200, {}, {"ok": True}),
+        ]
+        client = _client(stub)
+        assert client.request("/stats") == {"ok": True}
+        assert client.retries == 1
+
+    def test_hint_is_capped_by_the_request_timeout(self, stub):
+        stub.script = [
+            (429, {}, {"error": "shed", "retry_after": 3600.0}),
+            (200, {}, {"ok": True}),
+        ]
+        client = _client(stub)
+        assert client.request("/stats", timeout=0.05) == {"ok": True}
+        # The sleep honored the deadline, not the server's hour.
+        assert client.backoff_seconds == pytest.approx(0.05)
+
+
+class TestRetryAfterNotAbused:
+    def test_503_without_hint_surfaces_immediately(self, stub):
+        # A degraded /healthz is an *answer* (components unhealthy),
+        # not an invitation to hammer: no hint, no retry.
+        stub.script = [(503, {}, {"error": "degraded", "status": "degraded"})]
+        client = _client(stub, max_retries=5)
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("/healthz")
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after is None
+        assert client.retries == 0
+
+    def test_other_4xx_is_never_retried(self, stub):
+        stub.script = [(404, {"Retry-After": "1"}, {"error": "missing"})]
+        client = _client(stub, max_retries=5)
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("/runs/nope")
+        assert excinfo.value.status == 404
+        assert client.retries == 0
+
+    def test_exhausted_retries_raise_with_the_hint_attached(self, stub):
+        stub.script = [
+            (429, {}, {"error": "shed", "retry_after": 0.01}) for _ in range(5)
+        ]
+        client = _client(stub, max_retries=2)
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("/stats")
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after == pytest.approx(0.01)
+        assert client.retries == 2
+
+    def test_unparseable_header_means_no_hint(self, stub):
+        stub.script = [(429, {"Retry-After": "soon"}, {"error": "shed"})]
+        client = _client(stub, max_retries=5)
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("/stats")
+        assert excinfo.value.retry_after is None
+        assert client.retries == 0

@@ -166,7 +166,6 @@ class TestStreamErrors:
         )
         # Forget the live session, then lose its blob.
         service._sessions.clear()
-        service._session_touched.clear()
         store.delete_ckpt(opened["state_digest"])
         status, payload = service.handle("POST", "/streams/s1/advance", body={})
         assert status == 410
