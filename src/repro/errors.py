@@ -88,6 +88,16 @@ class SchedulerError(ReproError):
     """
 
 
+class SweepOwnershipError(SchedulerError):
+    """A sweep id is already owned by a different tenant.
+
+    Raised by :meth:`~repro.sched.queue.JobQueue.submit` when a scoped
+    submission names a sweep whose recorded owner differs. The service
+    maps this to the same 404 a missing sweep gets, so sweep ids cannot
+    be probed across tenants.
+    """
+
+
 class ResultMergeError(ReproError, ValueError):
     """Two result sets disagree about the same spec key.
 

@@ -45,7 +45,7 @@ from collections.abc import Callable, Iterable
 from pathlib import Path
 from typing import Any
 
-from repro.errors import SchedulerError
+from repro.errors import SchedulerError, SweepOwnershipError
 from repro.obs import REGISTRY
 
 #: Version stamp on the queue index.
@@ -176,6 +176,13 @@ class JobQueue:
                 "CREATE TABLE IF NOT EXISTS counters "
                 "(name TEXT PRIMARY KEY, value INTEGER NOT NULL)"
             )
+            # Lazily migrated: queue files from before sweep ownership
+            # gain the (empty) table on open; their pre-existing sweeps
+            # simply have no recorded owner yet.
+            self._db.execute(
+                "CREATE TABLE IF NOT EXISTS sweeps "
+                "(sweep_id TEXT PRIMARY KEY, owner TEXT)"
+            )
             row = self._db.execute(
                 "SELECT value FROM meta WHERE key='schema'"
             ).fetchone()
@@ -269,6 +276,7 @@ class JobQueue:
         specs: Iterable[tuple[str, dict]],
         precompleted: Iterable[str] = (),
         max_attempts: int | None = None,
+        owner: str | None = None,
     ) -> list[dict[str, Any]]:
         """Enqueue one sweep: ``(spec_key, spec_dict)`` per job.
 
@@ -278,6 +286,15 @@ class JobQueue:
         and jobs whose ``spec_key`` is in ``precompleted`` (the caller
         probed the experiment store) are marked done with
         ``result_source='store'`` without ever being queued.
+
+        ``owner`` scopes the sweep to one tenant, durably (the record
+        rides in the queue file, so it survives restarts). The first
+        submission claims the id; a later scoped submission under a
+        different owner raises :class:`SweepOwnershipError` inside the
+        same transaction that would have enqueued jobs — ownership can
+        never be stolen by racing the check. ``owner=None`` is the
+        unscoped (admin / open-mode) caller: it may resume any sweep
+        and never overwrites a recorded owner.
 
         Returns the aligned list of job dictionaries.
         """
@@ -290,6 +307,18 @@ class JobQueue:
         jobs: list[dict[str, Any]] = []
         now = self._clock()
         with self._txn():
+            row = self._db.execute(
+                "SELECT owner FROM sweeps WHERE sweep_id=?", (sweep_id,)
+            ).fetchone()
+            if row is None:
+                self._db.execute(
+                    "INSERT INTO sweeps (sweep_id, owner) VALUES (?, ?)",
+                    (sweep_id, owner),
+                )
+            elif owner is not None and row[0] != owner:
+                raise SweepOwnershipError(
+                    f"sweep {sweep_id!r} is owned by another tenant"
+                )
             submitted = reused = stored = 0
             for seq, (spec_key, spec_dict) in enumerate(specs):
                 job_id = f"{sweep_id}:{seq}"
@@ -337,6 +366,21 @@ class JobQueue:
             if stored:
                 self._bump("jobs_precompleted", stored)
         return jobs
+
+    def sweep_owner(self, sweep_id: str) -> tuple[bool, str | None]:
+        """``(known, owner)`` for one sweep id.
+
+        ``known`` is whether the sweep has ever been submitted through
+        this queue file; ``owner`` is the tenant recorded at first
+        submission (``None`` for unscoped submissions — and for sweeps
+        predating the ownership table, which lazy migration leaves
+        unowned).
+        """
+        with self._lock:
+            row = self._db.execute(
+                "SELECT owner FROM sweeps WHERE sweep_id=?", (sweep_id,)
+            ).fetchone()
+        return (row is not None, row[0] if row is not None else None)
 
     # -- worker protocol ---------------------------------------------------
 

@@ -191,6 +191,10 @@ class TenantConfig:
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
             raise ReproError(f"tenant name must be a non-empty string, got {self.name!r}")
+        if "/" in self.name:
+            # The name prefixes tenant-namespaced session keys with a
+            # "/" separator; a slash inside it would make keys forgeable.
+            raise ReproError(f"tenant name must not contain '/': {self.name!r}")
         if not self.token or not isinstance(self.token, str):
             raise ReproError(
                 f"tenant {self.name!r}: token must be a non-empty string"
@@ -294,6 +298,7 @@ class AdmissionController:
             tenant.name: CostTracker(tenant.cost_rate, tenant.cost_burst, clock)
             for tenant in tenants
         }
+        self._clock = clock
         self.max_inflight = int(max_inflight)
         self.max_queue = int(max_queue)
         self.queue_wait_seconds = float(queue_wait_seconds)
@@ -369,7 +374,9 @@ class AdmissionController:
         (bounded to ``max_queue`` concurrent waiters); past either
         bound the request is shed.
         """
-        deadline = time.monotonic() + self.queue_wait_seconds
+        # Same injected clock as the token buckets, so tests drive the
+        # queue-wait deadline and slot shedding deterministically too.
+        deadline = self._clock() + self.queue_wait_seconds
         with self._cond:
             if self._inflight < self.max_inflight:
                 self._inflight += 1
@@ -381,7 +388,7 @@ class AdmissionController:
             _OBS_QUEUED.set(self._queued)
             try:
                 while self._inflight >= self.max_inflight:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - self._clock()
                     if remaining <= 0:
                         return self._shed(tenant)
                     self._cond.wait(remaining)

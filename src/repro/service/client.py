@@ -168,9 +168,14 @@ class ServiceClient:
         server explicitly saying "ask again in N seconds", and those
         are retried (any method — an admission rejection means the
         request never reached a handler) after sleeping the hinted
-        delay, capped by this request's ``timeout``. ``timeout``
-        overrides the client-wide socket timeout for this one request
-        (a long streaming advance next to quick polls).
+        delay. Hinted sleeps draw on one request-level budget of
+        ``timeout`` seconds: each sleep is capped by what remains, and
+        once the budget is spent the error is raised instead of
+        retried — so a call never blocks for hint-sleeps longer than
+        its own ``timeout``, however many retries the server invites.
+        ``timeout`` also overrides the client-wide socket timeout for
+        this one request (a long streaming advance next to quick
+        polls).
         """
         data = json.dumps(payload).encode() if payload is not None else None
         method = method or ("POST" if data is not None else "GET")
@@ -179,6 +184,9 @@ class ServiceClient:
         if timeout is None:
             timeout = self.timeout
         attempt = 0
+        # One deadline for all hinted (Retry-After) sleeps this call
+        # makes — a budget, not a per-attempt cap.
+        hint_deadline = time.monotonic() + timeout
         headers = {"Content-Type": "application/json"}
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
@@ -207,15 +215,19 @@ class ServiceClient:
                     decoded = None
                 message = (decoded or {}).get("error", body.decode(errors="replace"))
                 retry_after = _retry_after_hint(decoded, exc)
+                hint_budget = hint_deadline - time.monotonic()
                 if (
                     exc.code in (429, 503)
                     and retry_after is not None
                     and attempt < self.max_retries
+                    and hint_budget > 0
                 ):
                     # Honor the server's hint instead of the blind
-                    # exponential schedule, but never sleep past this
-                    # request's own timeout budget.
-                    delay = min(retry_after, timeout)
+                    # exponential schedule, but never sleep past what
+                    # remains of this request's timeout budget — large
+                    # hints across several attempts must not stack into
+                    # a multi-timeout stall.
+                    delay = min(retry_after, hint_budget)
                     attempt += 1
                     self.retries += 1
                     self.backoff_seconds += delay

@@ -65,7 +65,7 @@ from typing import Any, Iterable, Iterator
 from urllib.parse import parse_qsl, unquote, urlparse
 
 from repro.ckpt import CheckpointManager, ReplaySession, SessionSnapshot
-from repro.errors import CkptError, ReproError, StoreError
+from repro.errors import CkptError, ReproError, StoreError, SweepOwnershipError
 from repro.obs import (
     COLLECTOR,
     REGISTRY,
@@ -400,12 +400,13 @@ class ExperimentService:
         # sweep_id -> the submitting request's trace context, so jobs
         # claimed later (a different request, a different worker) can
         # join the sweep's trace. Bounded FIFO; purely observability.
+        # Handler threads mutate it concurrently, hence the lock.
+        # (Sweep *ownership* is not kept here: it lives in the job
+        # queue's sweeps table, so it survives restarts and is checked
+        # atomically with submission.)
         self._sweep_traces: dict[str, str] = {}
         self._sweep_traces_max = 256
-        # sweep_id -> submitting tenant, for sweep-route scoping. Same
-        # bounded-FIFO lifetime as the trace map; ownership of sweeps
-        # submitted before a restart is forgotten with the process.
-        self._sweep_owners: dict[str, str | None] = {}
+        self._sweep_traces_lock = threading.Lock()
         self.journal: MetricsJournal | None = None
         self.engine: RuleEngine | None = None
         self.watchdog: HealthWatchdog | None = None
@@ -857,9 +858,23 @@ class ExperimentService:
 
     # -- streaming routes --------------------------------------------------
 
+    @staticmethod
+    def _session_key(session_id: str, tenant: TenantConfig | None) -> str:
+        """The table/checkpoint key for a tenant's view of ``session_id``.
+
+        Session ids are namespaced per tenant: tenant ``alpha`` opening
+        ``s1`` and tenant ``beta`` opening ``s1`` are two unrelated
+        sessions. That makes cross-tenant ids not merely unreadable but
+        *uncolliding* — ``POST /streams`` with a foreign id opens your
+        own fresh session instead of leaking a 409. Unambiguous because
+        session ids may not contain ``/`` (validated on every route)
+        while the separator is one.
+        """
+        return session_id if tenant is None else f"{tenant.name}/{session_id}"
+
     def _checkpoint_session(
         self,
-        session_id: str,
+        session_key: str,
         spec: RunSpec,
         session: ReplaySession,
         tenant: str | None = None,
@@ -873,7 +888,7 @@ class ExperimentService:
         """
         digest = self.ckpt.save(session.snapshot())
         self.ckpt.save_session(
-            session_id,
+            session_key,
             {
                 "spec": spec.to_dict(),
                 "spec_key": spec.key(),
@@ -885,15 +900,17 @@ class ExperimentService:
         return digest
 
     def _restore_into(
-        self, session_id: str, entry: _SessionEntry
+        self, session_key: str, entry: _SessionEntry, session_id: str
     ) -> tuple[int, dict] | None:
         """Restore a persisted session into ``entry`` (lock held).
 
+        ``session_key`` is the tenant-namespaced lookup key;
+        ``session_id`` is the caller-visible id used in error messages.
         Returns ``None`` on success, or the ``(status, payload)`` error
         pair when the id is unknown (404) or its checkpoint blob has
         been garbage-collected (410).
         """
-        record = self.ckpt.load_session(session_id)
+        record = self.ckpt.load_session(session_key)
         if record is None:
             return 404, self._envelope(
                 {"error": f"no streaming session {session_id!r}"}
@@ -946,24 +963,36 @@ class ExperimentService:
         ``dead`` flag and simply re-fetched (the restore path then
         brings it back from its checkpoint).
         """
+        if not session_id or "/" in session_id:
+            # No such id can ever be created (``POST /streams`` rejects
+            # them), and a percent-encoded ``/`` must not reach the
+            # tenant-namespaced key where it could forge a separator.
+            yield None, (
+                400,
+                self._envelope({"error": f"malformed session id {session_id!r}"}),
+            )
+            return
+        key = self._session_key(session_id, tenant)
         while True:
-            entry = self._sessions.get_or_create(session_id)
+            entry = self._sessions.get_or_create(key)
             with entry.lock:
                 if entry.dead:
                     continue
                 if entry.session is None:
                     try:
-                        error = self._restore_into(session_id, entry)
+                        error = self._restore_into(key, entry, session_id)
                     except BaseException:
-                        self._sessions.discard(session_id, entry)
+                        self._sessions.discard(key, entry)
                         raise
                     if error is not None:
-                        self._sessions.discard(session_id, entry)
+                        self._sessions.discard(key, entry)
                         yield None, error
                         return
                 if tenant is not None and entry.tenant != tenant.name:
-                    # Indistinguishable from a missing session: tenants
-                    # cannot probe for each other's session ids.
+                    # Defense in depth: keys are tenant-namespaced, so
+                    # a foreign session can't even be addressed — but a
+                    # mismatched record still answers like a missing
+                    # session rather than trusting the key alone.
                     yield None, (
                         404,
                         self._envelope(
@@ -1021,20 +1050,25 @@ class ExperimentService:
                 {"error": f"malformed session id {session_id!r}"}
             )
         self._sessions.evict_idle(self.max_idle_seconds)
+        # The tenant-namespaced key means an id collision can only be
+        # with the caller's *own* sessions: another tenant's identical
+        # id lives under a different key, so no 409 (or any other
+        # signal) ever reveals it.
+        key = self._session_key(session_id, tenant)
         while True:
-            entry = self._sessions.get_or_create(session_id)
+            entry = self._sessions.get_or_create(key)
             with entry.lock:
                 if entry.dead:
                     continue
                 try:
                     if (
                         entry.session is not None
-                        or self.ckpt.load_session(session_id) is not None
+                        or self.ckpt.load_session(key) is not None
                     ):
                         # A 409 must not leave a fresh placeholder behind:
                         # later opens would mistake it for a live session.
                         if entry.session is None:
-                            self._sessions.discard(session_id, entry)
+                            self._sessions.discard(key, entry)
                         return 409, self._envelope(
                             {
                                 "error": f"streaming session {session_id!r} "
@@ -1049,7 +1083,7 @@ class ExperimentService:
                     )
                     owner = tenant.name if tenant is not None else None
                     digest = self._checkpoint_session(
-                        session_id, spec, session, owner
+                        key, spec, session, owner
                     )
                     entry.session = session
                     entry.spec = spec
@@ -1057,7 +1091,7 @@ class ExperimentService:
                     entry.touched = time.monotonic()
                 except BaseException:
                     if entry.session is None:
-                        self._sessions.discard(session_id, entry)
+                        self._sessions.discard(key, entry)
                     raise
                 return 200, self._session_payload(
                     session_id, session, spec, state_digest=digest
@@ -1087,7 +1121,10 @@ class ExperimentService:
                 return error
             advanced = entry.session.advance(count)
             digest = self._checkpoint_session(
-                session_id, entry.spec, entry.session, entry.tenant
+                self._session_key(session_id, tenant),
+                entry.spec,
+                entry.session,
+                entry.tenant,
             )
             return 200, self._session_payload(
                 session_id,
@@ -1132,6 +1169,12 @@ class ExperimentService:
         if not isinstance(specs, list):
             status, payload = specs
             return status, self._envelope(payload)
+        if not specs:
+            # An empty sweep does no work but would still claim the
+            # sweep id (ownership, trace slot) — reject it outright.
+            return 400, self._envelope(
+                {"error": "'specs' must be a non-empty list"}
+            )
         sweep_id = body.get("sweep_id") or f"sweep-{uuid.uuid4().hex[:12]}"
         if not isinstance(sweep_id, str):
             return 400, self._envelope(
@@ -1144,6 +1187,16 @@ class ExperimentService:
             return 400, self._envelope(
                 {"error": f"'max_attempts' must be a positive integer, got {max_attempts!r}"}
             )
+        owner = tenant.name if tenant is not None else None
+        if tenant is not None:
+            # Probe-hiding pre-check before the cost charge: a sweep id
+            # owned by someone else answers exactly like a missing one,
+            # and the tenant is not billed for the collision. The
+            # authoritative check is the one inside ``queue.submit`` —
+            # atomic with enqueueing, so ownership cannot be raced.
+            known, recorded = self.queue.sweep_owner(sweep_id)
+            if known and recorded != tenant.name:
+                return 404, self._envelope({"error": f"no sweep {sweep_id!r}"})
         cost_wait = self.admission.charge_cost(tenant, len(specs))
         if cost_wait > 0:
             return 429, self._envelope(
@@ -1158,24 +1211,25 @@ class ExperimentService:
         # per sweep across client, service, and the whole fleet).
         sweep_ctx = current_context()
         if sweep_ctx is not None:
-            self._sweep_traces[sweep_id] = sweep_ctx
-            while len(self._sweep_traces) > self._sweep_traces_max:
-                self._sweep_traces.pop(next(iter(self._sweep_traces)))
-        # Sweep ownership gates /jobs, /cancel, and per-sweep /progress
-        # to the submitting tenant. In-memory like the trace map: a
-        # restart forgets owners, which fails open for admins only
-        # (tenants then see 404, never another tenant's sweep).
-        self._sweep_owners[sweep_id] = tenant.name if tenant else None
-        while len(self._sweep_owners) > self._sweep_traces_max:
-            self._sweep_owners.pop(next(iter(self._sweep_owners)))
+            with self._sweep_traces_lock:
+                self._sweep_traces[sweep_id] = sweep_ctx
+                while len(self._sweep_traces) > self._sweep_traces_max:
+                    self._sweep_traces.pop(
+                        next(iter(self._sweep_traces)), None
+                    )
         keys = [spec.key() for spec in specs]
         stored = {key for key in set(keys) if self.store.has_result(key)}
-        jobs = self.queue.submit(
-            sweep_id,
-            [(key, spec.to_dict()) for key, spec in zip(keys, specs)],
-            precompleted=stored,
-            max_attempts=max_attempts,
-        )
+        try:
+            jobs = self.queue.submit(
+                sweep_id,
+                [(key, spec.to_dict()) for key, spec in zip(keys, specs)],
+                precompleted=stored,
+                max_attempts=max_attempts,
+                owner=owner,
+            )
+        except SweepOwnershipError:
+            # Lost the race between the pre-check and the transaction.
+            return 404, self._envelope({"error": f"no sweep {sweep_id!r}"})
         if tenant is not None:
             # Granted at submission, not completion: the submitting
             # tenant may read the rows the moment workers land them.
@@ -1199,6 +1253,10 @@ class ExperimentService:
                 ],
             }
         )
+
+    def _sweep_trace(self, sweep_id: str) -> str | None:
+        with self._sweep_traces_lock:
+            return self._sweep_traces.get(sweep_id)
 
     def _post_claim(self, body: dict) -> tuple[int, dict]:
         """Lease queued jobs to a worker, store-probing each handout."""
@@ -1242,7 +1300,7 @@ class ExperimentService:
                             "attempts": job["attempts"],
                             "max_attempts": job["max_attempts"],
                             "lease_expires": job["lease_expires"],
-                            "trace": self._sweep_traces.get(job["sweep_id"]),
+                            "trace": self._sweep_trace(job["sweep_id"]),
                         }
                     )
         return 200, self._envelope({"worker_id": worker_id, "jobs": handout})
@@ -1361,10 +1419,16 @@ class ExperimentService:
     def _owns_sweep(
         self, tenant: TenantConfig | None, sweep_id: str
     ) -> bool:
-        """Whether ``tenant`` may act on ``sweep_id`` (admins always may)."""
+        """Whether ``tenant`` may act on ``sweep_id`` (admins always may).
+
+        Ownership is read from the job queue's persistent record, so a
+        tenant keeps access to their own sweeps across service restarts
+        while other tenants keep getting 404s for them.
+        """
         if tenant is None:
             return True
-        return self._sweep_owners.get(sweep_id) == tenant.name
+        known, owner = self.queue.sweep_owner(sweep_id)
+        return known and owner == tenant.name
 
     def _get_job(
         self, job_id: str, tenant: TenantConfig | None = None

@@ -8,7 +8,7 @@ exercised deterministically and instantly.
 
 import pytest
 
-from repro.errors import SchedulerError
+from repro.errors import SchedulerError, SweepOwnershipError
 from repro.sched import JobQueue
 
 
@@ -90,6 +90,32 @@ class TestSubmitAndClaim:
         submit(queue, 1)
         with pytest.raises(SchedulerError, match="fresh sweep_id"):
             queue.submit("s1", [("other-key", {"workload": "x"})])
+
+    def test_sweep_ownership_is_claimed_atomically(self, queue, tmp_path, clock):
+        assert queue.sweep_owner("s1") == (False, None)
+        submit(queue, 2, owner="alpha")
+        assert queue.sweep_owner("s1") == (True, "alpha")
+        # Same owner resumes; a different owner is rejected inside the
+        # submit transaction; an unscoped (admin) caller may resume any
+        # sweep without overwriting the record.
+        submit(queue, 2, owner="alpha")
+        with pytest.raises(SweepOwnershipError):
+            submit(queue, 2, owner="beta")
+        submit(queue, 2)
+        assert queue.sweep_owner("s1") == (True, "alpha")
+        # A rejected submission enqueues nothing.
+        assert len(queue.jobs(sweep_id="s1")) == 2
+        # Ownership is durable: a reopened queue file still knows it.
+        queue.close()
+        with JobQueue(tmp_path / "jobs.sqlite", clock=clock) as reopened:
+            assert reopened.sweep_owner("s1") == (True, "alpha")
+
+    def test_anonymous_sweep_stays_anonymous(self, queue):
+        submit(queue, 1)
+        assert queue.sweep_owner("s1") == (True, None)
+        # A scoped caller cannot adopt a sweep submitted anonymously.
+        with pytest.raises(SweepOwnershipError):
+            submit(queue, 1, owner="alpha")
 
     def test_malformed_arguments_raise(self, queue):
         with pytest.raises(SchedulerError):

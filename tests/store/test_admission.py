@@ -9,6 +9,7 @@ and — where headers matter — over real HTTP.
 
 import json
 import threading
+import time
 
 import pytest
 
@@ -223,6 +224,34 @@ class TestAdmissionController:
         controller.leave()
         waiter.join(timeout=5.0)
         assert outcome == [None]
+        controller.leave()
+
+    def test_try_enter_deadline_uses_injected_clock(self):
+        # The queue-wait deadline must come from the injected clock —
+        # the same one the token buckets use — so tests control slot
+        # shedding deterministically instead of sleeping wall time.
+        class SteppingClock:
+            def __init__(self) -> None:
+                self.now = 0.0
+
+            def __call__(self) -> float:
+                now = self.now
+                self.now += 60.0
+                return now
+
+        controller = AdmissionController(
+            max_inflight=1,
+            max_queue=4,
+            queue_wait_seconds=5.0,
+            clock=SteppingClock(),
+        )
+        assert controller.try_enter(None) is None
+        began = time.monotonic()
+        shed = controller.try_enter(None)
+        assert shed == controller.shed_retry_after
+        # The 5 fake queue-wait seconds lapsed on the fake clock — no
+        # real 5s sleep happened.
+        assert time.monotonic() - began < 2.0
         controller.leave()
 
     def test_census_shape(self):
@@ -459,6 +488,136 @@ class TestTenantIsolation:
         )
         assert status == 200 and cancelled["cancelled"] == 1
 
+    def test_sweep_id_cannot_be_taken_over(self, tmp_path):
+        service = _service(tmp_path, tenants=[ALPHA, BETA])
+        status, _ = service.handle(
+            "POST",
+            "/jobs",
+            body={"specs": [SPEC_PAYLOAD], "sweep_id": "sweep-a"},
+            authorization=_auth("alpha-token"),
+        )
+        assert status == 200
+        # An empty spec list must not be a free (zero-cost) resume.
+        status, _ = service.handle(
+            "POST",
+            "/jobs",
+            body={"specs": [], "sweep_id": "sweep-a"},
+            authorization=_auth("beta-token"),
+        )
+        assert status == 400
+        # Resubmitting someone else's sweep id answers exactly like a
+        # missing sweep and leaves ownership untouched.
+        status, payload = service.handle(
+            "POST",
+            "/jobs",
+            body={"specs": [SPEC_PAYLOAD], "sweep_id": "sweep-a"},
+            authorization=_auth("beta-token"),
+        )
+        assert status == 404 and "no sweep" in payload["error"]
+        assert service.handle(
+            "GET",
+            "/progress",
+            query={"sweep_id": "sweep-a"},
+            authorization=_auth("beta-token"),
+        )[0] == 404
+        assert service.handle(
+            "GET",
+            "/progress",
+            query={"sweep_id": "sweep-a"},
+            authorization=_auth("alpha-token"),
+        )[0] == 200
+        # The real owner can still resume their own sweep.
+        status, _ = service.handle(
+            "POST",
+            "/jobs",
+            body={"specs": [SPEC_PAYLOAD], "sweep_id": "sweep-a"},
+            authorization=_auth("alpha-token"),
+        )
+        assert status == 200
+
+    def test_sweep_ownership_survives_restart(self, tmp_path):
+        service = _service(tmp_path, tenants=[ALPHA, BETA])
+        status, _ = service.handle(
+            "POST",
+            "/jobs",
+            body={"specs": [SPEC_PAYLOAD], "sweep_id": "sweep-a"},
+            authorization=_auth("alpha-token"),
+        )
+        assert status == 200
+        service.queue.close()
+        service.store.close()
+        service.close()
+        # Ownership rides in the queue file, so a restarted service
+        # keeps beta out and alpha in.
+        reopened = _service(tmp_path, tenants=[ALPHA, BETA])
+        status, _ = reopened.handle(
+            "POST",
+            "/jobs",
+            body={"specs": [SPEC_PAYLOAD], "sweep_id": "sweep-a"},
+            authorization=_auth("beta-token"),
+        )
+        assert status == 404
+        assert reopened.handle(
+            "GET",
+            "/progress",
+            query={"sweep_id": "sweep-a"},
+            authorization=_auth("beta-token"),
+        )[0] == 404
+        assert reopened.handle(
+            "GET",
+            "/progress",
+            query={"sweep_id": "sweep-a"},
+            authorization=_auth("alpha-token"),
+        )[0] == 200
+
+    def test_foreign_session_ids_do_not_collide_or_leak(self, tmp_path):
+        service = _service(tmp_path, tenants=[ALPHA, BETA])
+        status, _ = service.handle(
+            "POST",
+            "/streams",
+            body={"spec": SPEC_PAYLOAD, "session_id": "s1"},
+            authorization=_auth("alpha-token"),
+        )
+        assert status == 200
+        # Beta reusing the same id opens beta's *own* fresh session —
+        # indistinguishable from any unused id, so POST /streams can't
+        # probe for foreign sessions (previously a revealing 409).
+        status, theirs = service.handle(
+            "POST",
+            "/streams",
+            body={"spec": OTHER_SPEC, "session_id": "s1"},
+            authorization=_auth("beta-token"),
+        )
+        assert status == 200 and theirs["offset"] == 0
+        # The two sessions advance independently...
+        status, step = service.handle(
+            "POST",
+            "/streams/s1/advance",
+            body={"count": 1},
+            authorization=_auth("alpha-token"),
+        )
+        assert status == 200 and step["offset"] == 1
+        status, stats = service.handle(
+            "GET", "/streams/s1/stats", authorization=_auth("beta-token")
+        )
+        assert status == 200 and stats["offset"] == 0
+        # ...each tenant still gets a 409 for their own duplicate...
+        for token in ("alpha-token", "beta-token"):
+            status, _ = service.handle(
+                "POST",
+                "/streams",
+                body={"spec": SPEC_PAYLOAD, "session_id": "s1"},
+                authorization=_auth(token),
+            )
+            assert status == 409, token
+        # ...and a percent-encoded "/" cannot forge a namespaced key.
+        status, _ = service.handle(
+            "GET",
+            "/streams/alpha%2Fs1/stats",
+            authorization=_auth("beta-token"),
+        )
+        assert status == 400
+
 
 class TestRateAndCostLimits:
     def test_rate_limited_request_gets_429_with_retry_after(self, tmp_path):
@@ -639,3 +798,36 @@ class TestSheddingOverHTTP:
             assert client.retries >= 1
         finally:
             releaser.join()
+
+
+class TestClientRetryBudget:
+    def test_hinted_sleeps_draw_on_one_timeout_budget(self, monkeypatch):
+        import io
+        import urllib.error
+        import urllib.request
+        from email.message import Message
+
+        def always_shed(request, timeout=None):
+            headers = Message()
+            headers["Retry-After"] = "30"
+            raise urllib.error.HTTPError(
+                request.full_url,
+                429,
+                "Too Many Requests",
+                headers,
+                io.BytesIO(b'{"error": "shed", "retry_after": 30.0}'),
+            )
+
+        monkeypatch.setattr(urllib.request, "urlopen", always_shed)
+        client = ServiceClient("http://127.0.0.1:1", max_retries=10)
+        began = time.monotonic()
+        with pytest.raises(ServiceError) as excinfo:
+            client.request("/stats", timeout=0.2)
+        # The 30s hint x 10 retries must not stack: every hinted sleep
+        # draws on the one 0.2s request budget, so the call gives up in
+        # well under a second instead of minutes.
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after == 30.0
+        assert time.monotonic() - began < 5.0
+        assert client.backoff_seconds <= 0.25
+        assert client.retries >= 1

@@ -94,8 +94,10 @@ class TestRetryAfterHonored:
         ]
         client = _client(stub)
         assert client.request("/stats", timeout=0.05) == {"ok": True}
-        # The sleep honored the deadline, not the server's hour.
-        assert client.backoff_seconds == pytest.approx(0.05)
+        # The sleep honored the request's remaining budget (timeout
+        # minus the time the attempt itself took), not the server's
+        # hour.
+        assert 0 < client.backoff_seconds <= 0.05
 
 
 class TestRetryAfterNotAbused:
